@@ -1,0 +1,29 @@
+//! Criterion bench: CLUSTER-PARTITION (Algorithm 2) cost, backing the
+//! linear-in-n runtime claim of Fig. 6(a) and the ε discussion of
+//! Fig. 11(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metam::core::cluster::cluster_partition;
+use metam_bench::synthetic::scaled_fixture;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_partition");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let fixture = scaled_fixture(n, 5, 24, 7);
+        group.bench_with_input(BenchmarkId::new("eps_0.05", n), &n, |b, _| {
+            b.iter(|| cluster_partition(std::hint::black_box(&fixture.profiles), 0.05, 7))
+        });
+    }
+    // ε sensitivity at fixed n.
+    let fixture = scaled_fixture(10_000, 5, 24, 7);
+    for &eps in &[0.03f64, 0.05, 0.07] {
+        group.bench_with_input(BenchmarkId::new("n_10000_eps", format!("{eps}")), &eps, |b, &eps| {
+            b.iter(|| cluster_partition(std::hint::black_box(&fixture.profiles), eps, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

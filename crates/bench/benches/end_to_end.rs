@@ -1,0 +1,46 @@
+//! Criterion bench: one full goal-oriented discovery run (real forest
+//! task, real joins, real profiles) on a small classification scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metam::pipeline::prepare;
+use metam::{Metam, MetamConfig};
+use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+
+fn small_scenario() -> metam::datagen::Scenario {
+    build_supervised(&SupervisedConfig {
+        n_rows: 300,
+        n_informative: 2,
+        n_duplicates: 1,
+        n_irrelevant_tables: 6,
+        n_erroneous_tables: 3,
+        ..Default::default()
+    })
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("prepare", |b| {
+        b.iter_with_large_drop(|| prepare(small_scenario(), 5))
+    });
+
+    let prepared = prepare(small_scenario(), 5);
+    group.bench_function("metam_30_queries", |b| {
+        b.iter(|| {
+            Metam::new(MetamConfig { max_queries: 30, seed: 5, ..Default::default() })
+                .run(&prepared.inputs())
+        })
+    });
+    group.bench_function("single_utility_query", |b| {
+        let inputs = prepared.inputs();
+        b.iter(|| {
+            let mut engine = metam::core::engine::QueryEngine::new(&inputs, 10);
+            engine.base_utility().expect("in budget")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion bench: join-path materialization (single- and two-hop) — the
+//! per-candidate cost underlying discovery and utility queries.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metam::discovery::path::PathConfig;
+use metam::discovery::{generate_candidates, DiscoveryIndex, Materializer};
+use metam_table::{Column, Table};
+
+fn make_tables(n: usize) -> (Table, Vec<Arc<Table>>) {
+    let din = Table::from_columns(
+        "din",
+        vec![Column::from_strings(
+            Some("zip".into()),
+            (0..n).map(|i| Some(format!("z{i}"))).collect(),
+        )],
+    )
+    .expect("aligned");
+    let bridge = Table::from_columns(
+        "bridge",
+        vec![
+            Column::from_strings(
+                Some("zipcode".into()),
+                (0..n).map(|i| Some(format!("z{i}"))).collect(),
+            ),
+            Column::from_strings(
+                Some("district".into()),
+                (0..n).map(|i| Some(format!("d{}", i % (n / 4).max(1)))).collect(),
+            ),
+            Column::from_floats(Some("rate".into()), (0..n).map(|i| Some(i as f64)).collect()),
+        ],
+    )
+    .expect("aligned");
+    let leaf = Table::from_columns(
+        "leaf",
+        vec![
+            Column::from_strings(
+                Some("id".into()),
+                (0..n).map(|i| Some(format!("d{i}"))).collect(),
+            ),
+            Column::from_floats(Some("income".into()), (0..n).map(|i| Some(i as f64)).collect()),
+        ],
+    )
+    .expect("aligned");
+    (din, vec![Arc::new(bridge), Arc::new(leaf)])
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let (din, tables) = make_tables(n);
+        let index = DiscoveryIndex::build(tables.clone());
+        let cfg = PathConfig { containment_threshold: 0.2, ..Default::default() };
+        let candidates = generate_candidates(&din, &index, &cfg, 100);
+        let single = candidates
+            .iter()
+            .find(|c| c.path.len() == 1)
+            .expect("single hop")
+            .clone();
+        let double = candidates.iter().find(|c| c.path.len() == 2).cloned();
+
+        group.bench_with_input(BenchmarkId::new("single_hop", n), &n, |b, _| {
+            let mat = Materializer::new(tables.clone());
+            b.iter(|| {
+                mat.clear_cache();
+                std::hint::black_box(mat.materialize(&din, &single).expect("ok"))
+            })
+        });
+        if let Some(double) = double {
+            group.bench_with_input(BenchmarkId::new("two_hop", n), &n, |b, _| {
+                let mat = Materializer::new(tables.clone());
+                b.iter(|| {
+                    mat.clear_cache();
+                    std::hint::black_box(mat.materialize(&din, &double).expect("ok"))
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            let mat = Materializer::new(tables.clone());
+            mat.materialize(&din, &single).expect("warm");
+            b.iter(|| std::hint::black_box(mat.materialize(&din, &single).expect("ok")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let (_din, tables) = make_tables(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(DiscoveryIndex::build(tables.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialize, bench_index_build);
+criterion_main!(benches);

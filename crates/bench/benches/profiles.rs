@@ -1,0 +1,71 @@
+//! Criterion bench: per-profile computation cost (the "roughly 4 of 10
+//! minutes are spent generating data profiles" observation in §VI-B) and
+//! the parallel profile sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metam::pipeline::{prepare_with, PrepareOptions};
+use metam::profile::{default_profiles, Profile, ProfileContext};
+use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+
+fn scenario() -> metam::datagen::Scenario {
+    build_supervised(&SupervisedConfig {
+        n_rows: 400,
+        n_informative: 2,
+        n_irrelevant_tables: 5,
+        n_erroneous_tables: 2,
+        ..Default::default()
+    })
+}
+
+fn bench_single_profiles(c: &mut Criterion) {
+    let prepared = prepare_with(
+        scenario(),
+        default_profiles(),
+        PrepareOptions { seed: 0, ..Default::default() },
+    );
+    let cand = &prepared.candidates[0];
+    let aug = prepared
+        .materializer
+        .materialize(&prepared.scenario.din, cand)
+        .expect("materializes");
+    let sample: Vec<usize> = (0..100).collect();
+    let ctx = ProfileContext {
+        din: &prepared.scenario.din,
+        target_column: prepared.target_column,
+        sample_indices: &sample,
+        candidate: cand,
+        aug: Some(&aug),
+    };
+
+    let mut group = c.benchmark_group("profile_single");
+    group.sample_size(30);
+    let profiles: Vec<(&str, Box<dyn Profile>)> = vec![
+        ("correlation", Box::new(metam::profile::correlation::CorrelationProfile)),
+        ("mutual_info", Box::new(metam::profile::mutual_info::MutualInfoProfile::default())),
+        ("embedding", Box::new(metam::profile::embedding::EmbeddingProfile)),
+        ("metadata", Box::new(metam::profile::metadata::MetadataProfile)),
+        ("overlap", Box::new(metam::profile::overlap::OverlapProfile)),
+    ];
+    for (name, profile) in &profiles {
+        group.bench_function(*name, |b| b.iter(|| std::hint::black_box(profile.compute(&ctx))));
+    }
+    group.finish();
+}
+
+fn bench_profile_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_sweep");
+    group.sample_size(10);
+    group.bench_function("evaluate_all", |b| {
+        b.iter_with_large_drop(|| {
+            prepare_with(
+                scenario(),
+                default_profiles(),
+                PrepareOptions { seed: 0, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_profiles, bench_profile_sweep);
+criterion_main!(benches);

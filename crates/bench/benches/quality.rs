@@ -1,0 +1,37 @@
+//! Criterion bench: quality-score bookkeeping — the per-query cost of
+//! recording an observation (utility propagation + ridge weight refit)
+//! and of the arg-max candidate selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metam::core::cluster::cluster_partition;
+use metam::core::quality::QualityModel;
+use metam_bench::synthetic::scaled_fixture;
+
+fn bench_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality_model");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let fixture = scaled_fixture(n, 5, 24, 9);
+        let clustering = cluster_partition(&fixture.profiles, 0.05, 9);
+
+        group.bench_with_input(BenchmarkId::new("record", n), &n, |b, _| {
+            let mut model = QualityModel::new(n, 5, true);
+            let mut i = 0usize;
+            b.iter(|| {
+                model.record(i % n, 0.1, &fixture.profiles, &clustering);
+                i += 1;
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("best_candidate", n), &n, |b, _| {
+            let model = QualityModel::new(n, 5, true);
+            b.iter(|| {
+                std::hint::black_box(model.best_candidate(0..n, &fixture.profiles))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

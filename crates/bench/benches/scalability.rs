@@ -1,0 +1,51 @@
+//! Criterion bench: Fig. 6-shaped scalability — time to spend a fixed
+//! query budget as the candidate count and profile count grow. Verifies
+//! the "scales linearly, Metam ≤ MW" claims at criterion precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metam::{run_method, Method, MetamConfig};
+use metam_bench::synthetic::scaled_fixture;
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget100_vs_candidates");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let fixture = scaled_fixture(n, 5, 24, 3);
+        group.bench_with_input(BenchmarkId::new("metam", n), &n, |b, _| {
+            b.iter(|| {
+                run_method(
+                    &Method::Metam(MetamConfig { seed: 3, ..Default::default() }),
+                    &fixture.inputs(),
+                    None,
+                    100,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mw", n), &n, |b, _| {
+            b.iter(|| run_method(&Method::Mw { seed: 3 }, &fixture.inputs(), None, 100))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiles_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget100_vs_profiles");
+    group.sample_size(10);
+    for &l in &[10usize, 40] {
+        let fixture = scaled_fixture(20_000, l, 24, 3);
+        group.bench_with_input(BenchmarkId::new("metam", l), &l, |b, _| {
+            b.iter(|| {
+                run_method(
+                    &Method::Metam(MetamConfig { seed: 3, ..Default::default() }),
+                    &fixture.inputs(),
+                    None,
+                    100,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates, bench_profiles_dim);
+criterion_main!(benches);

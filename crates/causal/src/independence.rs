@@ -1,0 +1,148 @@
+//! Fisher-z conditional-independence tests.
+//!
+//! The standard test behind PC-style discovery: partial correlation of X and
+//! Y given Z, Fisher-transformed; the statistic is approximately standard
+//! normal under independence.
+
+use metam_ml::matrix::ridge_solve;
+use metam_ml::Matrix;
+
+use crate::stats::{normal_cdf, pearson};
+
+/// Result of one independence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndependenceTest {
+    /// Estimated (partial) correlation.
+    pub correlation: f64,
+    /// Two-sided p-value for the null "X ⟂ Y | Z".
+    pub p_value: f64,
+}
+
+impl IndependenceTest {
+    /// Reject independence at significance `alpha`?
+    pub fn dependent(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Residualize `target` on the conditioning columns via ridge regression.
+fn residuals(target: &[f64], conditioning: &[&[f64]]) -> Vec<f64> {
+    if conditioning.is_empty() {
+        return target.to_vec();
+    }
+    let n = target.len();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row: Vec<f64> = conditioning.iter().map(|c| c[r]).collect();
+            row.push(1.0); // intercept
+            row
+        })
+        .collect();
+    let x = Matrix::from_rows(&rows);
+    match ridge_solve(&x, target, 1e-6) {
+        Some(w) => (0..n)
+            .map(|r| {
+                let pred: f64 = rows[r].iter().zip(&w).map(|(a, b)| a * b).sum();
+                target[r] - pred
+            })
+            .collect(),
+        None => target.to_vec(),
+    }
+}
+
+/// Partial correlation of `x` and `y` given the conditioning set `z`
+/// (computed by double residualization, the textbook recursion's stable
+/// equivalent).
+pub fn partial_correlation(x: &[f64], y: &[f64], z: &[&[f64]]) -> f64 {
+    let rx = residuals(x, z);
+    let ry = residuals(y, z);
+    pearson(&rx, &ry)
+}
+
+/// Fisher-z test of `x ⟂ y | z`.
+///
+/// The z statistic is `sqrt(n - |z| - 3) * atanh(r)`; the p-value is the
+/// two-sided normal tail. Degenerate sample sizes return p = 1 (never
+/// reject).
+pub fn fisher_z_test(x: &[f64], y: &[f64], z: &[&[f64]]) -> IndependenceTest {
+    let n = x.len();
+    let r = partial_correlation(x, y, z);
+    let dof = n as f64 - z.len() as f64 - 3.0;
+    if dof <= 0.0 {
+        return IndependenceTest { correlation: r, p_value: 1.0 };
+    }
+    // Clamp away from ±1 so atanh stays finite.
+    let r_safe = r.clamp(-0.999999, 0.999999);
+    let stat = dof.sqrt() * 0.5 * ((1.0 + r_safe) / (1.0 - r_safe)).ln();
+    let p = 2.0 * (1.0 - normal_cdf(stat.abs()));
+    IndependenceTest { correlation: r, p_value: p.clamp(0.0, 1.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn noise(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn detects_marginal_dependence() {
+        let x = noise(1, 200);
+        let y: Vec<f64> = x.iter().zip(noise(2, 200)).map(|(a, e)| a + 0.2 * e).collect();
+        let t = fisher_z_test(&x, &y, &[]);
+        assert!(t.dependent(0.05), "p={}", t.p_value);
+    }
+
+    #[test]
+    fn accepts_independence() {
+        let x = noise(3, 200);
+        let y = noise(4, 200);
+        let t = fisher_z_test(&x, &y, &[]);
+        assert!(!t.dependent(0.01), "p={}", t.p_value);
+    }
+
+    #[test]
+    fn conditioning_blocks_chain() {
+        // x → m → y: x ⟂ y | m, but x and y are marginally dependent.
+        let x = noise(5, 400);
+        let em = noise(6, 400);
+        let ey = noise(7, 400);
+        let m: Vec<f64> = x.iter().zip(&em).map(|(a, e)| a + 0.2 * e).collect();
+        let y: Vec<f64> = m.iter().zip(&ey).map(|(a, e)| a + 0.2 * e).collect();
+        assert!(fisher_z_test(&x, &y, &[]).dependent(0.05));
+        let cond = fisher_z_test(&x, &y, &[&m]);
+        assert!(
+            cond.correlation.abs() < 0.3,
+            "partial correlation should shrink: {}",
+            cond.correlation
+        );
+        assert!(cond.p_value > fisher_z_test(&x, &y, &[]).p_value);
+    }
+
+    #[test]
+    fn tiny_samples_never_reject() {
+        let t = fisher_z_test(&[1.0, 2.0], &[2.0, 4.0], &[]);
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn partial_correlation_bounded() {
+        let x = noise(8, 100);
+        let y = noise(9, 100);
+        let z = noise(10, 100);
+        let r = partial_correlation(&x, &y, &[&z]);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn perfect_correlation_significant() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let t = fisher_z_test(&x, &x, &[]);
+        assert!(t.p_value < 1e-6);
+        assert!((t.correlation - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Thompson sampling over clusters (§IV-B IDENTIFY-GROUP).
+//!
+//! Each cluster is a Bernoulli arm; the reward is "querying an augmentation
+//! from this cluster improved utility". Beta(1, 1) priors, posterior
+//! updates on every observation, and draws via the seeded RNG so whole runs
+//! stay reproducible.
+
+use rand::Rng;
+
+/// Beta-Bernoulli Thompson sampler.
+#[derive(Debug, Clone)]
+pub struct ThompsonSampler {
+    /// (successes+1, failures+1) per arm.
+    arms: Vec<(f64, f64)>,
+}
+
+impl ThompsonSampler {
+    /// `n_arms` arms with uniform Beta(1,1) priors.
+    pub fn new(n_arms: usize) -> ThompsonSampler {
+        ThompsonSampler { arms: vec![(1.0, 1.0); n_arms] }
+    }
+
+    /// Number of arms.
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// `true` when there are no arms.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Record a reward (success = the cluster's augmentation improved
+    /// utility).
+    pub fn update(&mut self, arm: usize, success: bool) {
+        if let Some(a) = self.arms.get_mut(arm) {
+            if success {
+                a.0 += 1.0;
+            } else {
+                a.1 += 1.0;
+            }
+        }
+    }
+
+    /// Posterior mean of one arm.
+    pub fn posterior_mean(&self, arm: usize) -> f64 {
+        let (a, b) = self.arms[arm];
+        a / (a + b)
+    }
+
+    /// One Beta(a, b) draw via the ratio-of-Gammas method (Marsaglia–Tsang
+    /// for Gamma with shape ≥ 1, which always holds here since a, b ≥ 1).
+    fn sample_beta<R: Rng>(&self, arm: usize, rng: &mut R) -> f64 {
+        let (a, b) = self.arms[arm];
+        let x = sample_gamma(a, rng);
+        let y = sample_gamma(b, rng);
+        if x + y <= 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+
+    /// Draw a Thompson sample per arm and return the arms in descending
+    /// sample order.
+    pub fn ranked_arms<R: Rng>(&self, rng: &mut R) -> Vec<usize> {
+        let mut scored: Vec<(usize, f64)> = (0..self.arms.len())
+            .map(|i| (i, self.sample_beta(i, rng)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Top-`t` distinct arms by Thompson draws — the cluster subset used to
+    /// build one group query.
+    pub fn sample_top<R: Rng>(&self, t: usize, rng: &mut R) -> Vec<usize> {
+        let mut ranked = self.ranked_arms(rng);
+        ranked.truncate(t);
+        ranked
+    }
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler for shape ≥ 1.
+fn sample_gamma<R: Rng>(shape: f64, rng: &mut R) -> f64 {
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn posterior_mean_tracks_rewards() {
+        let mut s = ThompsonSampler::new(2);
+        for _ in 0..20 {
+            s.update(0, true);
+            s.update(1, false);
+        }
+        assert!(s.posterior_mean(0) > 0.9);
+        assert!(s.posterior_mean(1) < 0.1);
+    }
+
+    #[test]
+    fn rewarded_arm_gets_sampled_more() {
+        let mut s = ThompsonSampler::new(3);
+        for _ in 0..30 {
+            s.update(2, true);
+            s.update(0, false);
+            s.update(1, false);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut wins = [0usize; 3];
+        for _ in 0..200 {
+            wins[s.ranked_arms(&mut rng)[0]] += 1;
+        }
+        assert!(wins[2] > 150, "wins={wins:?}");
+    }
+
+    #[test]
+    fn sample_top_returns_distinct_arms() {
+        let s = ThompsonSampler::new(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let top = s.sample_top(3, &mut rng);
+        assert_eq!(top.len(), 3);
+        let mut sorted = top.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn sample_top_caps_at_arm_count() {
+        let s = ThompsonSampler::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert_eq!(s.sample_top(10, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn gamma_sampler_is_positive_with_sane_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 2000;
+        let mean: f64 = (0..n).map(|_| sample_gamma(4.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.3, "mean={mean}");
+    }
+}

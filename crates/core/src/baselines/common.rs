@@ -1,0 +1,102 @@
+//! The shared greedy-acceptance skeleton.
+
+use std::collections::BTreeSet;
+
+use metam_discovery::CandidateId;
+
+use crate::engine::{QueryEngine, SearchInputs, StopSearch};
+use crate::runner::RunResult;
+
+/// Greedily query candidates in the given order: each candidate is tried as
+/// an extension of the current solution and kept iff utility strictly
+/// improves. Stops at θ, budget exhaustion, or end of order.
+pub fn greedy_over_order(
+    inputs: &SearchInputs<'_>,
+    order: &[CandidateId],
+    theta: Option<f64>,
+    max_queries: usize,
+    method: &str,
+) -> RunResult {
+    let mut engine = QueryEngine::new(inputs, max_queries);
+    let mut selected: BTreeSet<CandidateId> = BTreeSet::new();
+    let mut utility = 0.0;
+    let mut base_utility = 0.0;
+
+    let outcome = (|| -> Result<(), StopSearch> {
+        base_utility = engine.base_utility()?;
+        utility = base_utility;
+        for &c in order {
+            if theta.is_some_and(|t| utility >= t) {
+                break;
+            }
+            let (raw, _, _) = engine.utility_extend(&selected, c, false)?;
+            if raw > utility {
+                selected.insert(c);
+                utility = raw;
+            }
+        }
+        Ok(())
+    })();
+    let _ = outcome; // budget exhaustion just truncates the scan
+
+    RunResult {
+        method: method.to_string(),
+        selected: selected.into_iter().collect(),
+        utility,
+        base_utility,
+        queries: engine.queries(),
+        trace: engine.trace().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_fixtures::fixture;
+    use crate::task::LinearSyntheticTask;
+
+    #[test]
+    fn greedy_accepts_only_improvements() {
+        let (din, candidates, mat) = fixture(5);
+        let mut weights = vec![0.0; candidates.len()];
+        weights[2] = 0.3;
+        weights[4] = 0.2;
+        let task = LinearSyntheticTask { base: 0.1, weights };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let order: Vec<usize> = (0..candidates.len()).collect();
+        let r = greedy_over_order(&inputs, &order, None, 1000, "test");
+        assert_eq!(r.selected, vec![2, 4]);
+        assert!((r.utility - 0.6).abs() < 1e-9);
+        assert!((r.base_utility - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_short_circuits() {
+        let (din, candidates, mat) = fixture(5);
+        let task = LinearSyntheticTask { base: 0.1, weights: vec![0.5; candidates.len()] };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let order: Vec<usize> = (0..candidates.len()).collect();
+        let r = greedy_over_order(&inputs, &order, Some(0.55), 1000, "test");
+        assert_eq!(r.selected.len(), 1, "first candidate already clears θ");
+    }
+}

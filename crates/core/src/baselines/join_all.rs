@@ -1,0 +1,72 @@
+//! Join-Everything baseline (§II-C): one query with every candidate joined.
+
+use std::collections::BTreeSet;
+
+use crate::engine::{QueryEngine, SearchInputs};
+use crate::runner::RunResult;
+
+/// Augment `Din` with *all* candidates and query once. Cheap in queries,
+/// expensive in width, and vulnerable to irrelevant/erroneous columns —
+/// exactly the failure mode the paper describes.
+pub fn run_join_all(inputs: &SearchInputs<'_>, max_queries: usize) -> RunResult {
+    let mut engine = QueryEngine::new(inputs, max_queries);
+    let base_utility = engine.base_utility().unwrap_or(0.0);
+    let all: BTreeSet<usize> = (0..inputs.candidates.len()).collect();
+    let utility = engine.utility_of(&all).unwrap_or(base_utility);
+    RunResult {
+        method: "JoinAll".to_string(),
+        selected: all.into_iter().collect(),
+        utility,
+        base_utility,
+        queries: engine.queries(),
+        trace: engine.trace().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_fixtures::fixture;
+    use crate::task::{LinearSyntheticTask, NonMonotoneTask};
+
+    #[test]
+    fn join_all_uses_two_queries() {
+        let (din, candidates, mat) = fixture(5);
+        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.1; candidates.len()] };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let r = run_join_all(&inputs, 10);
+        assert_eq!(r.queries, 2);
+        assert_eq!(r.selected.len(), candidates.len());
+    }
+
+    #[test]
+    fn join_all_suffers_from_harmful_columns() {
+        let (din, candidates, mat) = fixture(5);
+        let mut deltas = vec![-0.1; candidates.len()];
+        deltas[0] = 0.3;
+        let task = NonMonotoneTask { base: 0.5, deltas };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let r = run_join_all(&inputs, 10);
+        assert!(r.utility < 0.5 + 0.3, "harmful columns drag the blob down");
+    }
+}

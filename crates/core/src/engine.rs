@@ -1,0 +1,350 @@
+//! The query engine: utility evaluation with memoization, query
+//! accounting, budget enforcement and monotonicity certification.
+//!
+//! A *query* (the unit of the paper's x-axes) is one evaluation of the task
+//! on a distinct augmented dataset; repeated evaluations of the same
+//! augmentation set hit the memo and are free.
+
+use std::collections::{BTreeSet, HashMap};
+
+use metam_discovery::{Candidate, CandidateId, Materializer};
+use metam_table::Table;
+
+use crate::task::Task;
+use crate::trace::TracePoint;
+
+/// Everything a search method needs to run.
+pub struct SearchInputs<'a> {
+    /// The input dataset.
+    pub din: &'a Table,
+    /// Index of the task's target attribute in `din`, when the task is
+    /// supervised. Metam itself never reads it (the task is a black box);
+    /// the task-aware iARDA baseline does.
+    pub target_column: Option<usize>,
+    /// Candidate augmentations (ids must equal their position).
+    pub candidates: &'a [Candidate],
+    /// Profile vectors aligned with `candidates`.
+    pub profiles: &'a [Vec<f64>],
+    /// Profile names (coordinate order).
+    pub profile_names: &'a [String],
+    /// Materializer over the repository the candidates came from.
+    pub materializer: &'a Materializer,
+    /// The downstream task.
+    pub task: &'a dyn Task,
+}
+
+/// Raised when the query budget is exhausted; searches unwind and report
+/// their best-so-far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopSearch;
+
+/// Memoizing, counting wrapper around the task (plus the monotonicity
+/// certification component of Fig. 2).
+pub struct QueryEngine<'a> {
+    inputs: &'a SearchInputs<'a>,
+    cache: HashMap<BTreeSet<CandidateId>, f64>,
+    queries: usize,
+    budget: usize,
+    trace: Vec<TracePoint>,
+    best_utility: f64,
+    best_set: BTreeSet<CandidateId>,
+    certification_ignored: usize,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// New engine with a query budget (`usize::MAX` for unbounded).
+    pub fn new(inputs: &'a SearchInputs<'a>, budget: usize) -> QueryEngine<'a> {
+        QueryEngine {
+            inputs,
+            cache: HashMap::new(),
+            queries: 0,
+            budget,
+            trace: Vec::new(),
+            best_utility: 0.0,
+            best_set: BTreeSet::new(),
+            certification_ignored: 0,
+        }
+    }
+
+    /// Queries issued so far.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> usize {
+        self.budget.saturating_sub(self.queries)
+    }
+
+    /// Number of augmentations the certification component ignored.
+    pub fn certification_ignored(&self) -> usize {
+        self.certification_ignored
+    }
+
+    /// The recorded best-utility trace.
+    pub fn trace(&self) -> &[TracePoint] {
+        &self.trace
+    }
+
+    /// Best set seen so far and its utility.
+    pub fn best(&self) -> (&BTreeSet<CandidateId>, f64) {
+        (&self.best_set, self.best_utility)
+    }
+
+    /// Materialize `Din` augmented with the given candidate set (sorted id
+    /// order, so the table is unique per set).
+    pub fn augmented_table(&self, set: &BTreeSet<CandidateId>) -> Table {
+        let mut table = self.inputs.din.clone();
+        for &id in set {
+            let cand = &self.inputs.candidates[id];
+            if let Ok(col) = self.inputs.materializer.materialize(self.inputs.din, cand) {
+                // Column names are unique per candidate; errors (noisy
+                // candidates) contribute nothing.
+                let _ = table.add_column((*col).clone());
+            }
+        }
+        table
+    }
+
+    /// Utility of `Din ⊕ set`. Counts one query on a cache miss; returns
+    /// `Err(StopSearch)` when the budget is exhausted *before* evaluating.
+    pub fn utility_of(&mut self, set: &BTreeSet<CandidateId>) -> Result<f64, StopSearch> {
+        if let Some(&u) = self.cache.get(set) {
+            return Ok(u);
+        }
+        if self.queries >= self.budget {
+            return Err(StopSearch);
+        }
+        let table = self.augmented_table(set);
+        let u = self.inputs.task.utility(&table).clamp(0.0, 1.0);
+        self.queries += 1;
+        self.cache.insert(set.clone(), u);
+        if self.trace.is_empty() || u > self.best_utility {
+            self.best_utility = if self.trace.is_empty() { u } else { self.best_utility.max(u) };
+            self.best_set = set.clone();
+        }
+        self.trace.push(TracePoint { queries: self.queries, utility: self.best_utility });
+        Ok(u)
+    }
+
+    /// Utility of the singleton extension `base ∪ {add}`, with the
+    /// monotonicity-certification wrapper (P3) applied when `certify`:
+    /// the reported utility never drops below `u(base)` — a worsening
+    /// augmentation is *ignored* (the paper's wrapper) and flagged.
+    ///
+    /// Returns `(effective_utility, raw_utility, ignored)`.
+    pub fn utility_extend(
+        &mut self,
+        base: &BTreeSet<CandidateId>,
+        add: CandidateId,
+        certify: bool,
+    ) -> Result<(f64, f64, bool), StopSearch> {
+        let mut set = base.clone();
+        set.insert(add);
+        let raw = self.utility_of(&set)?;
+        if !certify {
+            return Ok((raw, raw, false));
+        }
+        let base_u = self.utility_of(base)?;
+        if raw < base_u {
+            self.certification_ignored += 1;
+            Ok((base_u, raw, true))
+        } else {
+            Ok((raw, raw, false))
+        }
+    }
+
+    /// Convenience: utility of the un-augmented `Din`.
+    pub fn base_utility(&mut self) -> Result<f64, StopSearch> {
+        self.utility_of(&BTreeSet::new())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    //! A tiny shared fixture: `Din` with a numeric target, a repository of
+    //! joinable single-column tables, and candidates/profiles over them.
+
+    use std::sync::Arc;
+
+    use metam_discovery::path::PathConfig;
+    use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
+    use metam_table::{Column, Table};
+
+    /// Build a fixture with `n_ext` external joinable columns.
+    pub fn fixture(n_ext: usize) -> (Table, Vec<Candidate>, Materializer) {
+        let n = 40;
+        let din = Table::from_columns(
+            "din",
+            vec![
+                Column::from_strings(
+                    Some("zip".into()),
+                    (0..n).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("y".into()),
+                    (0..n).map(|i| Some(i as f64)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut tables = Vec::new();
+        for t in 0..n_ext {
+            let table = Table::from_columns(
+                format!("ext{t}"),
+                vec![
+                    Column::from_strings(
+                        Some("zipcode".into()),
+                        (0..n).map(|i| Some(format!("z{i}"))).collect(),
+                    ),
+                    Column::from_floats(
+                        Some(format!("v{t}")),
+                        (0..n).map(|i| Some((i * (t + 1)) as f64)).collect(),
+                    ),
+                ],
+            )
+            .unwrap();
+            tables.push(Arc::new(table));
+        }
+        let index = DiscoveryIndex::build(tables.clone());
+        let candidates = generate_candidates(&din, &index, &PathConfig::default(), 10_000);
+        (din, candidates, Materializer::new(tables))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::fixture;
+    use super::*;
+    use crate::task::LinearSyntheticTask;
+
+    fn names() -> Vec<String> {
+        vec!["p".into()]
+    }
+
+    #[test]
+    fn cache_hits_are_free() {
+        let (din, candidates, mat) = fixture(3);
+        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.1; candidates.len()] };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let pnames = names();
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &pnames,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 100);
+        let set: BTreeSet<usize> = [0].into();
+        let u1 = engine.utility_of(&set).unwrap();
+        let q = engine.queries();
+        let u2 = engine.utility_of(&set).unwrap();
+        assert_eq!(u1, u2);
+        assert_eq!(engine.queries(), q, "cache hit must not count");
+    }
+
+    #[test]
+    fn budget_stops_search() {
+        let (din, candidates, mat) = fixture(3);
+        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.1; candidates.len()] };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let pnames = names();
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &pnames,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 2);
+        assert!(engine.utility_of(&[0].into()).is_ok());
+        assert!(engine.utility_of(&[1].into()).is_ok());
+        assert_eq!(engine.utility_of(&[2].into()), Err(StopSearch));
+        assert_eq!(engine.queries(), 2);
+    }
+
+    #[test]
+    fn certification_ignores_worsening() {
+        let (din, candidates, mat) = fixture(2);
+        // Candidate 0 helps, candidate 1 hurts.
+        let mut deltas = vec![0.0; candidates.len()];
+        deltas[0] = 0.2;
+        deltas[1] = -0.3;
+        let task = crate::task::NonMonotoneTask { base: 0.5, deltas };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let pnames = names();
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &pnames,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 100);
+        let base: BTreeSet<usize> = BTreeSet::new();
+        let (eff, raw, ignored) = engine.utility_extend(&base, 1, true).unwrap();
+        assert!(ignored);
+        assert!(raw < 0.5);
+        assert_eq!(eff, 0.5, "wrapper reports the base utility");
+        let (eff0, _, ignored0) = engine.utility_extend(&base, 0, true).unwrap();
+        assert!(!ignored0);
+        assert!((eff0 - 0.7).abs() < 1e-9);
+        assert_eq!(engine.certification_ignored(), 1);
+    }
+
+    #[test]
+    fn trace_is_monotone_nondecreasing() {
+        let (din, candidates, mat) = fixture(4);
+        let mut weights = vec![0.0; candidates.len()];
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = (i % 3) as f64 * 0.1;
+        }
+        let task = LinearSyntheticTask { base: 0.1, weights };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let pnames = names();
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &pnames,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 100);
+        for i in 0..candidates.len().min(6) {
+            let _ = engine.utility_of(&[i].into());
+        }
+        let trace = engine.trace();
+        assert!(trace.windows(2).all(|w| w[0].utility <= w[1].utility + 1e-12));
+        assert!(trace.windows(2).all(|w| w[0].queries < w[1].queries));
+    }
+
+    #[test]
+    fn augmented_table_grows_by_set_size() {
+        let (din, candidates, mat) = fixture(3);
+        let task = LinearSyntheticTask { base: 0.0, weights: vec![0.0; candidates.len()] };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let pnames = names();
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &pnames,
+            materializer: &mat,
+            task: &task,
+        };
+        let engine = QueryEngine::new(&inputs, 10);
+        let t = engine.augmented_table(&[0, 1].into());
+        assert_eq!(t.ncols(), din.ncols() + 2);
+        assert_eq!(t.nrows(), din.nrows());
+    }
+}

@@ -1,0 +1,127 @@
+//! IDENTIFY-MINIMAL: the minimality post-check (paper Definition 6).
+//!
+//! Iteratively drop augmentations whose removal keeps utility ≥ θ; the
+//! result is minimal — removing any remaining element breaks the
+//! threshold. Queries issued here count like any others (they hit the same
+//! engine).
+
+use std::collections::BTreeSet;
+
+use metam_discovery::CandidateId;
+
+use crate::engine::{QueryEngine, StopSearch};
+
+/// Reduce `solution` to a minimal set with utility ≥ `theta`.
+///
+/// Scans in ascending id order and restarts after every removal, so the
+/// outcome is deterministic. If the budget runs out mid-check, the current
+/// (possibly non-minimal) set is returned.
+pub fn identify_minimal(
+    engine: &mut QueryEngine<'_>,
+    solution: &BTreeSet<CandidateId>,
+    theta: f64,
+) -> BTreeSet<CandidateId> {
+    let mut current = solution.clone();
+    'outer: loop {
+        let ids: Vec<CandidateId> = current.iter().copied().collect();
+        for id in ids {
+            let mut without = current.clone();
+            without.remove(&id);
+            match engine.utility_of(&without) {
+                Ok(u) if u >= theta => {
+                    current = without;
+                    continue 'outer;
+                }
+                Ok(_) => {}
+                Err(StopSearch) => return current,
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_fixtures::fixture;
+    use crate::engine::SearchInputs;
+    use crate::task::LinearSyntheticTask;
+
+    #[test]
+    fn redundant_members_are_dropped() {
+        let (din, candidates, mat) = fixture(4);
+        // Candidate 0 alone reaches θ; 1 and 2 are dead weight.
+        let mut weights = vec![0.0; candidates.len()];
+        weights[0] = 0.6;
+        weights[1] = 0.0;
+        weights[2] = 0.0;
+        let task = LinearSyntheticTask { base: 0.2, weights };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 1000);
+        let solution: BTreeSet<usize> = [0, 1, 2].into();
+        let minimal = identify_minimal(&mut engine, &solution, 0.8);
+        assert_eq!(minimal, [0].into());
+    }
+
+    #[test]
+    fn result_is_actually_minimal() {
+        let (din, candidates, mat) = fixture(4);
+        // Need both 0 and 1 to reach θ = 0.75.
+        let mut weights = vec![0.0; candidates.len()];
+        weights[0] = 0.3;
+        weights[1] = 0.3;
+        let task = LinearSyntheticTask { base: 0.2, weights };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 1000);
+        let solution: BTreeSet<usize> = [0, 1, 2, 3].into();
+        let minimal = identify_minimal(&mut engine, &solution, 0.75);
+        assert_eq!(minimal, [0, 1].into());
+        // Definition 6: removing any member must now break θ.
+        for &id in &minimal {
+            let mut without = minimal.clone();
+            without.remove(&id);
+            assert!(engine.utility_of(&without).unwrap() < 0.75);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_current_set() {
+        let (din, candidates, mat) = fixture(3);
+        let task = LinearSyntheticTask { base: 0.9, weights: vec![0.0; candidates.len()] };
+        let profiles = vec![vec![0.5]; candidates.len()];
+        let names = vec!["p".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: None,
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let mut engine = QueryEngine::new(&inputs, 0);
+        let solution: BTreeSet<usize> = [0, 1].into();
+        let out = identify_minimal(&mut engine, &solution, 0.5);
+        assert_eq!(out, solution, "no budget → unchanged");
+    }
+}

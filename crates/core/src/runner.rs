@@ -1,0 +1,177 @@
+//! A uniform interface over Metam and the baselines — the bench harness
+//! runs every figure through this.
+
+use metam_discovery::CandidateId;
+
+use crate::baselines;
+use crate::engine::SearchInputs;
+use crate::metam::{Metam, MetamConfig};
+use crate::trace::TracePoint;
+
+/// A method the harness can run.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// Metam with a full configuration.
+    Metam(MetamConfig),
+    /// Uniform random querying.
+    Uniform {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Overlap-ranked querying.
+    Overlap,
+    /// Multiplicative weights over profile experts.
+    Mw {
+        /// Expert-draw seed.
+        seed: u64,
+    },
+    /// iARDA ranking (needs `SearchInputs::target_column`).
+    IArda {
+        /// Whether the downstream task is classification.
+        classification: bool,
+        /// Scoring seed.
+        seed: u64,
+    },
+    /// Join everything, query once.
+    JoinAll,
+}
+
+impl Method {
+    /// Display name used in figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Metam(_) => "Metam",
+            Method::Uniform { .. } => "Uniform",
+            Method::Overlap => "Overlap",
+            Method::Mw { .. } => "MW",
+            Method::IArda { .. } => "iARDA",
+            Method::JoinAll => "JoinAll",
+        }
+    }
+}
+
+/// Outcome of one run of any method.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Method display name.
+    pub method: String,
+    /// Selected augmentation ids (ascending).
+    pub selected: Vec<CandidateId>,
+    /// Final solution utility.
+    pub utility: f64,
+    /// Utility of the bare `Din`.
+    pub base_utility: f64,
+    /// Queries spent.
+    pub queries: usize,
+    /// Best-utility trace.
+    pub trace: Vec<TracePoint>,
+}
+
+/// Run `method` with the given θ and query budget.
+pub fn run_method(
+    method: &Method,
+    inputs: &SearchInputs<'_>,
+    theta: Option<f64>,
+    max_queries: usize,
+) -> RunResult {
+    match method {
+        Method::Metam(config) => {
+            let mut cfg = config.clone();
+            cfg.theta = theta;
+            cfg.max_queries = max_queries;
+            let r = Metam::new(cfg).run(inputs);
+            RunResult {
+                method: "Metam".to_string(),
+                selected: r.selected,
+                utility: r.utility,
+                base_utility: r.base_utility,
+                queries: r.queries,
+                trace: r.trace,
+            }
+        }
+        Method::Uniform { seed } => baselines::run_uniform(inputs, theta, max_queries, *seed),
+        Method::Overlap => baselines::run_overlap(inputs, theta, max_queries),
+        Method::Mw { seed } => baselines::run_mw(inputs, theta, max_queries, *seed),
+        Method::IArda { classification, seed } => {
+            baselines::run_iarda(inputs, theta, max_queries, *classification, *seed)
+        }
+        Method::JoinAll => baselines::run_join_all(inputs, max_queries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_fixtures::fixture;
+    use crate::task::LinearSyntheticTask;
+
+    #[test]
+    fn all_methods_run_and_respect_budget() {
+        let (din, candidates, mat) = fixture(8);
+        let mut weights = vec![0.0; candidates.len()];
+        weights[3] = 0.4;
+        let task = LinearSyntheticTask { base: 0.3, weights };
+        let profiles = vec![vec![0.5, 0.2]; candidates.len()];
+        let names = vec!["overlap".to_string(), "corr".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: Some(1),
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let methods = [
+            Method::Metam(MetamConfig::default()),
+            Method::Uniform { seed: 1 },
+            Method::Overlap,
+            Method::Mw { seed: 1 },
+            Method::IArda { classification: false, seed: 1 },
+            Method::JoinAll,
+        ];
+        for m in &methods {
+            let r = run_method(m, &inputs, Some(0.65), 60);
+            assert!(r.queries <= 60, "{} overspent: {}", r.method, r.queries);
+            assert!(r.utility >= r.base_utility - 1e-9 || m.name() == "JoinAll");
+            assert!(!r.trace.is_empty(), "{} must record a trace", r.method);
+        }
+    }
+
+    #[test]
+    fn metam_beats_uniform_on_needle_in_haystack() {
+        let (din, candidates, mat) = fixture(30);
+        let n = candidates.len();
+        // One needle; profiles point at it (correlation-like signal).
+        let mut weights = vec![0.0; n];
+        weights[17] = 0.5;
+        let task = LinearSyntheticTask { base: 0.3, weights: weights.clone() };
+        let profiles: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![if i == 17 { 0.95 } else { (i % 10) as f64 / 30.0 }])
+            .collect();
+        let names = vec!["corr".to_string()];
+        let inputs = SearchInputs {
+            din: &din,
+            target_column: Some(1),
+            candidates: &candidates,
+            profiles: &profiles,
+            profile_names: &names,
+            materializer: &mat,
+            task: &task,
+        };
+        let metam = run_method(
+            &Method::Metam(MetamConfig { seed: 5, ..Default::default() }),
+            &inputs,
+            Some(0.75),
+            200,
+        );
+        let uniform = run_method(&Method::Uniform { seed: 5 }, &inputs, Some(0.75), 200);
+        assert!(metam.utility >= 0.75);
+        assert!(
+            metam.queries <= uniform.queries,
+            "metam {} vs uniform {}",
+            metam.queries,
+            uniform.queries
+        );
+    }
+}

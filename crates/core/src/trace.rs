@@ -1,0 +1,72 @@
+//! Utility-vs-queries traces — the y/x axes of every figure in §VI.
+
+/// One point: after `queries` task queries, the best solution found so far
+/// had utility `utility`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Cumulative number of (cache-missing) utility queries issued.
+    pub queries: usize,
+    /// Best solution utility known at that point.
+    pub utility: f64,
+}
+
+/// Utility of the best solution after at most `budget` queries (step
+/// interpolation; the value before the first query is the first recorded
+/// utility, conventionally the base utility of `Din`).
+pub fn utility_at(trace: &[TracePoint], budget: usize) -> f64 {
+    let mut best = 0.0f64;
+    let mut seen_any = false;
+    for p in trace {
+        if p.queries <= budget {
+            best = if seen_any { best.max(p.utility) } else { p.utility };
+            seen_any = true;
+        } else {
+            break;
+        }
+    }
+    if seen_any {
+        best
+    } else {
+        trace.first().map_or(0.0, |p| p.utility)
+    }
+}
+
+/// Resample a trace on a fixed query grid (for printing figure series).
+pub fn resample(trace: &[TracePoint], grid: &[usize]) -> Vec<(usize, f64)> {
+    grid.iter().map(|&q| (q, utility_at(trace, q))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<TracePoint> {
+        vec![
+            TracePoint { queries: 0, utility: 0.5 },
+            TracePoint { queries: 10, utility: 0.6 },
+            TracePoint { queries: 50, utility: 0.8 },
+        ]
+    }
+
+    #[test]
+    fn utility_at_steps() {
+        let t = trace();
+        assert_eq!(utility_at(&t, 0), 0.5);
+        assert_eq!(utility_at(&t, 9), 0.5);
+        assert_eq!(utility_at(&t, 10), 0.6);
+        assert_eq!(utility_at(&t, 1000), 0.8);
+    }
+
+    #[test]
+    fn utility_before_first_point_uses_first() {
+        let t = vec![TracePoint { queries: 5, utility: 0.4 }];
+        assert_eq!(utility_at(&t, 0), 0.4);
+    }
+
+    #[test]
+    fn resample_on_grid() {
+        let t = trace();
+        let r = resample(&t, &[0, 25, 100]);
+        assert_eq!(r, vec![(0, 0.5), (25, 0.6), (100, 0.8)]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Causal scenarios (SAT-scores what-if / how-to, §VI-A).
+//!
+//! Attributes follow a planted linear-SEM DAG; a few live in `Din`, the
+//! rest are scattered across repository tables keyed by student id. The
+//! what-if ground truth is the descendant set of the intervened attribute,
+//! the how-to ground truth is the (direct-driver) parent set of the
+//! outcome.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use metam_causal::Dag;
+use metam_table::{Column, Table};
+
+use crate::keyspace::{ids, permute_keys};
+use crate::scenario::{GroundTruth, Scenario, TaskSpec};
+
+/// Attribute names of the SAT scenario, indexed by DAG node.
+const ATTRS: &[&str] = &[
+    "critical_reading",  // 0: the intervened / outcome-driving attribute
+    "writing_score",     // 1
+    "math_score",        // 2
+    "college_admission", // 3
+    "study_hours",       // 4
+    "tutoring_hours",    // 5
+    "family_income",     // 6
+    "attendance_rate",   // 7
+];
+
+/// The planted DAG:
+/// study_hours → critical_reading → writing_score → college_admission,
+/// critical_reading → math_score, tutoring_hours → critical_reading,
+/// family_income → tutoring_hours. attendance_rate is isolated.
+fn sat_dag() -> Dag {
+    let mut g = Dag::new(ATTRS.len());
+    g.add_edge(4, 0);
+    g.add_edge(5, 0);
+    g.add_edge(6, 5);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g
+}
+
+/// Which kind of causal task the scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalKind {
+    /// What-if: intervene on `critical_reading`, recover its descendants.
+    WhatIf,
+    /// How-to: drive `critical_reading`, recover its parents.
+    HowTo,
+}
+
+/// Configuration of [`build_causal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of students (the paper's table has 450).
+    pub n_rows: usize,
+    /// Task flavour.
+    pub kind: CausalKind,
+    /// Irrelevant (noise-attribute) tables in the repository.
+    pub n_irrelevant_tables: usize,
+    /// Erroneous tables (permuted student ids).
+    pub n_erroneous_tables: usize,
+    /// Confounder decoy tables: noisy copies of the pivot attribute —
+    /// maximally correlated with it, yet *not* part of the causal ground
+    /// truth, so joining them yields no utility. They poison any ranking
+    /// built on a single correlation profile (§III-A).
+    pub n_confounder_tables: usize,
+    /// Scenario name.
+    pub name: String,
+}
+
+impl Default for CausalConfig {
+    fn default() -> Self {
+        CausalConfig {
+            seed: 0,
+            n_rows: 450,
+            kind: CausalKind::WhatIf,
+            n_irrelevant_tables: 12,
+            n_erroneous_tables: 4,
+            n_confounder_tables: 0,
+            name: "sat".to_string(),
+        }
+    }
+}
+
+/// Generate values of every attribute following the SEM in topological
+/// order: `x_v = Σ 0.8·x_parent + 0.4·ε`.
+fn simulate(dag: &Dag, n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut values = vec![vec![0.0; n]; dag.len()];
+    for v in dag.topological_order() {
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let mut x = 0.0;
+            for &p in dag.parents(v) {
+                x += 0.8 * values[p][i];
+            }
+            x += 0.4 * rng.gen_range(-1.0..1.0);
+            values[v][i] = x;
+        }
+    }
+    values
+}
+
+/// Build a what-if / how-to scenario.
+pub fn build_causal(cfg: &CausalConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dag = sat_dag();
+    let n = cfg.n_rows;
+    let keys = ids("stu", n);
+    let values = simulate(&dag, n, &mut rng);
+
+    // Din holds the student id + the pivot attribute (+ one noise column).
+    let noise_col: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect();
+    let mut din = Table::from_columns(
+        &cfg.name,
+        vec![
+            Column::from_strings(
+                Some("student_id".to_string()),
+                keys.iter().cloned().map(Some).collect(),
+            ),
+            Column::from_floats(
+                Some(ATTRS[0].to_string()),
+                values[0].iter().map(|&v| Some(v)).collect(),
+            ),
+            Column::from_floats(Some("lunch_price".to_string()), noise_col),
+        ],
+    )
+    .expect("din aligned");
+    din.source = "nyc-open-data".to_string();
+
+    let mut gt = GroundTruth::default();
+    let mut tables = Vec::new();
+
+    // One repository table per non-pivot attribute. Attribute tables cover
+    // only part of the cohort (real survey data is incomplete), so the
+    // Overlap baseline gets no free signal from them.
+    for (v, &attr) in ATTRS.iter().enumerate().skip(1) {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let take = ((n as f64) * rng.gen_range(0.78..0.92)).round() as usize;
+        order.truncate(take.max(1));
+        let tname = format!("{attr}_records");
+        let t = Table::from_columns(
+            &tname,
+            vec![
+                Column::from_strings(
+                    Some("student_id".to_string()),
+                    order.iter().map(|&i| Some(keys[i].clone())).collect(),
+                ),
+                Column::from_floats(
+                    Some(attr.to_string()),
+                    order.iter().map(|&i| Some(values[v][i])).collect(),
+                ),
+            ],
+        )
+        .expect("aligned");
+        let mut t = t;
+        t.source = "nyc-open-data".to_string();
+        tables.push(t);
+    }
+
+    // Ground truth per task flavour.
+    let truth_nodes: Vec<usize> = match cfg.kind {
+        CausalKind::WhatIf => dag.descendants(0),
+        CausalKind::HowTo => dag.parents(0).to_vec(),
+    };
+    let truth_names: Vec<String> = truth_nodes.iter().map(|&v| ATTRS[v].to_string()).collect();
+    for name in &truth_names {
+        gt.mark(format!("{name}_records"), name, 1.0);
+    }
+
+    // Irrelevant tables.
+    for t in 0..cfg.n_irrelevant_tables {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let col: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect();
+        let tname = format!("survey_{t:03}");
+        let mut table = Table::from_columns(
+            &tname,
+            vec![
+                Column::from_strings(
+                    Some("student_id".to_string()),
+                    order.iter().map(|&i| Some(keys[i].clone())).collect(),
+                ),
+                Column::from_floats(Some(format!("response_{t}")), col),
+            ],
+        )
+        .expect("aligned");
+        table.source = "kaggle".to_string();
+        tables.push(table);
+    }
+
+    // Confounder decoys: echo the pivot attribute with a little noise.
+    for t in 0..cfg.n_confounder_tables {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let col: Vec<Option<f64>> = order
+            .iter()
+            .map(|&i| Some(0.85 * values[0][i] + 0.15 * rng.gen_range(-1.0..1.0)))
+            .collect();
+        let tname = format!("poll_{t:03}");
+        let mut table = Table::from_columns(
+            &tname,
+            vec![
+                Column::from_strings(
+                    Some("student_id".to_string()),
+                    order.iter().map(|&i| Some(keys[i].clone())).collect(),
+                ),
+                Column::from_floats(Some(format!("sentiment_{t}")), col),
+            ],
+        )
+        .expect("aligned");
+        table.source = "kaggle".to_string();
+        tables.push(table);
+    }
+
+    // Erroneous tables: a true attribute with permuted student ids.
+    for t in 0..cfg.n_erroneous_tables {
+        let v = 1 + (t % (ATTRS.len() - 1));
+        let tname = format!("{}_shadow{t}", ATTRS[v]);
+        let permuted = permute_keys(&keys, &mut rng);
+        let mut table = Table::from_columns(
+            &tname,
+            vec![
+                Column::from_strings(
+                    Some("student_id".to_string()),
+                    permuted.into_iter().map(Some).collect(),
+                ),
+                Column::from_floats(
+                    Some(format!("{}_alt", ATTRS[v])),
+                    values[v].iter().map(|&x| Some(x)).collect(),
+                ),
+            ],
+        )
+        .expect("aligned");
+        table.source = "kaggle".to_string();
+        tables.push(table);
+        gt.erroneous_tables.push(tname);
+    }
+
+    let spec = match cfg.kind {
+        CausalKind::WhatIf => TaskSpec::WhatIf {
+            intervened: ATTRS[0].to_string(),
+            affected: truth_names,
+        },
+        CausalKind::HowTo => TaskSpec::HowTo {
+            outcome: ATTRS[0].to_string(),
+            drivers: truth_names,
+        },
+    };
+
+    Scenario {
+        name: cfg.name.clone(),
+        din,
+        tables: tables.into_iter().map(std::sync::Arc::new).collect(),
+        spec,
+        ground_truth: gt,
+        union_tables: Vec::new(),
+        eval_table: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whatif_truth_is_descendants() {
+        let s = build_causal(&CausalConfig::default());
+        match &s.spec {
+            TaskSpec::WhatIf { intervened, affected } => {
+                assert_eq!(intervened, "critical_reading");
+                assert!(affected.contains(&"writing_score".to_string()));
+                assert!(affected.contains(&"math_score".to_string()));
+                assert!(affected.contains(&"college_admission".to_string()));
+                assert!(!affected.contains(&"study_hours".to_string()), "parents not affected");
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn howto_truth_is_parents() {
+        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
+        match &s.spec {
+            TaskSpec::HowTo { outcome, drivers } => {
+                assert_eq!(outcome, "critical_reading");
+                assert!(drivers.contains(&"study_hours".to_string()));
+                assert!(drivers.contains(&"tutoring_hours".to_string()));
+                assert!(!drivers.contains(&"writing_score".to_string()));
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sem_produces_dependent_attributes() {
+        let s = build_causal(&CausalConfig::default());
+        // writing_score must correlate with Din's critical_reading (its parent).
+        let writing = s.tables.iter().find(|t| t.name == "writing_score_records").unwrap();
+        let col = metam_table::join::left_join_column(
+            &s.din,
+            0,
+            writing,
+            0,
+            writing.column_index("writing_score").unwrap(),
+        )
+        .unwrap();
+        let reading = s.din.column_by_name("critical_reading").unwrap().as_f64();
+        let w = col.as_f64();
+        let pairs: Vec<(f64, f64)> =
+            w.iter().zip(&reading).filter_map(|(a, b)| a.zip(*b)).collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = pairs.iter().map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / n;
+        let vx: f64 = pairs.iter().map(|(a, _)| (a - mx) * (a - mx)).sum::<f64>() / n;
+        let vy: f64 = pairs.iter().map(|(_, b)| (b - my) * (b - my)).sum::<f64>() / n;
+        assert!(cov / (vx.sqrt() * vy.sqrt()) > 0.5);
+    }
+
+    #[test]
+    fn table_count_matches_config() {
+        let cfg = CausalConfig { n_irrelevant_tables: 5, n_erroneous_tables: 3, ..Default::default() };
+        let s = build_causal(&cfg);
+        // 7 attribute tables + 5 irrelevant + 3 erroneous.
+        assert_eq!(s.tables.len(), 15);
+        assert_eq!(s.ground_truth.erroneous_tables.len(), 3);
+    }
+}

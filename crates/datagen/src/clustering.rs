@@ -1,0 +1,164 @@
+//! Clustering scenario (§VI-A.4): raw materials clustered by satiety
+//! score; augmenting the ONI (optimal nutrient intake) score tightens the
+//! clusters.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use metam_table::{Column, Table};
+
+use crate::scenario::{GroundTruth, Scenario, TaskSpec};
+
+/// Configuration of [`build_clustering`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of ingredients.
+    pub n_rows: usize,
+    /// Ground-truth categories (also the task's k).
+    pub n_categories: usize,
+    /// Irrelevant augmentations (the paper's repository yields 8 candidates
+    /// in total, one useful).
+    pub n_irrelevant_tables: usize,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig { seed: 0, n_rows: 160, n_categories: 4, n_irrelevant_tables: 7 }
+    }
+}
+
+const CATEGORIES: &[&str] = &["vegetable", "fruit", "spice", "grain", "dairy", "protein"];
+
+/// Build the clustering scenario: `Din` carries a *noisy* satiety score
+/// (categories overlap), while the repository's ONI table carries a tight
+/// per-category signal.
+pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n_rows;
+    let k = cfg.n_categories.clamp(2, CATEGORIES.len());
+
+    let categories: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let names: Vec<String> = (0..n).map(|i| format!("ingredient_{i:03}")).collect();
+
+    // Category centers evenly spaced in [0.1, 0.9].
+    let center = |c: usize| 0.1 + 0.8 * (c as f64) / ((k - 1) as f64);
+
+    // Noisy satiety: mostly noise with a weak category component, so
+    // satiety alone clusters poorly.
+    let satiety: Vec<f64> = categories
+        .iter()
+        .map(|&c| (0.3 * center(c) + 0.7 * rng.gen_range(0.0..1.0)).clamp(0.0, 1.0))
+        .collect();
+    // ONI: centers ± 0.02 (tight).
+    let oni: Vec<f64> = categories
+        .iter()
+        .map(|&c| (center(c) + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0))
+        .collect();
+
+    let mut din = Table::from_columns(
+        "raw_materials",
+        vec![
+            Column::from_strings(
+                Some("ingredient".to_string()),
+                names.iter().cloned().map(Some).collect(),
+            ),
+            Column::from_floats(
+                Some("satiety_score".to_string()),
+                satiety.iter().map(|&v| Some(v)).collect(),
+            ),
+        ],
+    )
+    .expect("aligned");
+    din.source = "health-blog".to_string();
+
+    let mut tables = Vec::new();
+    let mut gt = GroundTruth::default();
+
+    // The useful ONI table.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut oni_table = Table::from_columns(
+        "nutrient_intake",
+        vec![
+            Column::from_strings(
+                Some("ingredient".to_string()),
+                order.iter().map(|&i| Some(names[i].clone())).collect(),
+            ),
+            Column::from_floats(
+                Some("oni_score".to_string()),
+                order.iter().map(|&i| Some(oni[i])).collect(),
+            ),
+        ],
+    )
+    .expect("aligned");
+    oni_table.source = "health-blog".to_string();
+    tables.push(oni_table);
+    gt.mark("nutrient_intake", "oni_score", 1.0);
+
+    // Irrelevant tables: wide-spread noise that would *hurt* the radius.
+    for t in 0..cfg.n_irrelevant_tables {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut table = Table::from_columns(
+            format!("pantry_{t:02}"),
+            vec![
+                Column::from_strings(
+                    Some("ingredient".to_string()),
+                    order.iter().map(|&i| Some(names[i].clone())).collect(),
+                ),
+                Column::from_floats(
+                    Some(format!("shelf_{t}")),
+                    (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect(),
+                ),
+            ],
+        )
+        .expect("aligned");
+        table.source = "kaggle".to_string();
+        tables.push(table);
+    }
+
+    Scenario {
+        name: "ingredients_clustering".to_string(),
+        din,
+        tables: tables.into_iter().map(std::sync::Arc::new).collect(),
+        spec: TaskSpec::Clustering { k, truth: categories },
+        ground_truth: gt,
+        union_tables: Vec::new(),
+        eval_table: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oni_is_tight_per_category() {
+        let s = build_clustering(&ClusteringConfig::default());
+        let oni_table = s.tables.iter().find(|t| t.name == "nutrient_intake").unwrap();
+        let col = oni_table.column_by_name("oni_score").unwrap();
+        let vals: Vec<f64> = col.as_f64().into_iter().flatten().collect();
+        // Values concentrate near k=4 distinct centers.
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gaps: Vec<f64> = sorted.windows(2).map(|w| w[1] - w[0]).collect();
+        let big_gaps = gaps.iter().filter(|&&g| g > 0.1).count();
+        assert_eq!(big_gaps, 3, "4 tight bands → 3 large gaps");
+    }
+
+    #[test]
+    fn scenario_has_eight_candidate_tables() {
+        let s = build_clustering(&ClusteringConfig::default());
+        assert_eq!(s.tables.len(), 8, "paper: 8 augmentation candidates");
+        match &s.spec {
+            TaskSpec::Clustering { k, truth } => {
+                assert_eq!(*k, 4);
+                assert_eq!(truth.len(), s.din.nrows());
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+    }
+}

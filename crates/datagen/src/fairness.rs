@@ -1,0 +1,223 @@
+//! Fair-classification scenario (§VI-A.4, German-credit style).
+//!
+//! The trap the paper describes: features highly correlated with the
+//! target are also highly correlated with the *sensitive* attribute (so a
+//! fairness-aware pipeline discards them), while fair features with low
+//! target correlation don't help — only a *combination* of profile signals
+//! finds the genuinely useful-and-fair augmentations.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use metam_table::{Column, Table};
+
+use crate::keyspace::ids;
+use crate::scenario::{GroundTruth, Scenario, TaskSpec};
+
+/// Configuration of [`build_fairness`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of individuals.
+    pub n_rows: usize,
+    /// Unfair candidate tables (high target + high sensitive correlation).
+    pub n_unfair_tables: usize,
+    /// Fair-but-useless candidate tables (low correlation with both).
+    pub n_useless_tables: usize,
+    /// Fair *and* useful tables (the planted answer).
+    pub n_useful_tables: usize,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            seed: 0,
+            n_rows: 500,
+            n_unfair_tables: 25,
+            n_useless_tables: 25,
+            n_useful_tables: 2,
+        }
+    }
+}
+
+fn unit<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen_range(0.0..1.0)
+}
+
+/// Build the fairness scenario.
+pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n_rows;
+    let keys = ids("person", n);
+
+    // Sensitive attribute (age group) and an independent merit signal.
+    let sensitive: Vec<f64> = (0..n).map(|_| unit(&mut rng)).collect();
+    let merit: Vec<f64> = (0..n).map(|_| unit(&mut rng)).collect();
+    // Income depends on both; the label is binarized income.
+    let income: Vec<f64> = (0..n)
+        .map(|i| 0.45 * sensitive[i] + 0.45 * merit[i] + 0.1 * unit(&mut rng))
+        .collect();
+    let mut sorted = income.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[n / 2];
+
+    let mut din = Table::from_columns(
+        "credit",
+        vec![
+            Column::from_strings(
+                Some("person_id".to_string()),
+                keys.iter().cloned().map(Some).collect(),
+            ),
+            Column::from_floats(
+                Some("age".to_string()),
+                sensitive.iter().map(|&v| Some(18.0 + v * 50.0)).collect(),
+            ),
+            Column::from_floats(
+                Some("account_balance".to_string()),
+                (0..n).map(|_| Some(unit(&mut rng))).collect(),
+            ),
+            Column::from_strings(
+                Some("income_label".to_string()),
+                income
+                    .iter()
+                    .map(|&v| Some(if v > median { "high".to_string() } else { "low".to_string() }))
+                    .collect(),
+            ),
+        ],
+    )
+    .expect("aligned");
+    din.source = "kaggle".to_string();
+
+    let mut tables = Vec::new();
+    let mut gt = GroundTruth::default();
+
+    let mut push_table = |name: String, col: String, values: Vec<f64>, rng: &mut StdRng| {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut t = Table::from_columns(
+            &name,
+            vec![
+                Column::from_strings(
+                    Some("person_id".to_string()),
+                    order.iter().map(|&i| Some(keys[i].clone())).collect(),
+                ),
+                Column::from_floats(
+                    Some(col),
+                    order.iter().map(|&i| Some(values[i])).collect(),
+                ),
+            ],
+        )
+        .expect("aligned");
+        t.source = "kaggle".to_string();
+        tables.push(t);
+    };
+
+    // Unfair: tracks sensitive (and hence income) closely.
+    for t in 0..cfg.n_unfair_tables {
+        let values: Vec<f64> = (0..n)
+            .map(|i| 0.9 * sensitive[i] + 0.1 * unit(&mut rng))
+            .collect();
+        push_table(format!("profile_{t:02}"), format!("score_{t}"), values, &mut rng);
+    }
+    // Fair but useless.
+    for t in 0..cfg.n_useless_tables {
+        let values: Vec<f64> = (0..n).map(|_| unit(&mut rng)).collect();
+        push_table(format!("hobby_{t:02}"), format!("level_{t}"), values, &mut rng);
+    }
+    // Fair and useful: tracks merit only.
+    for t in 0..cfg.n_useful_tables {
+        let values: Vec<f64> = (0..n)
+            .map(|i| 0.85 * merit[i] + 0.15 * unit(&mut rng))
+            .collect();
+        let name = format!("employment_{t:02}");
+        let col = format!("tenure_{t}");
+        gt.mark(&name, &col, 1.0);
+        push_table(name, col, values, &mut rng);
+    }
+
+    Scenario {
+        name: "fair_credit".to_string(),
+        din,
+        tables: tables.into_iter().map(std::sync::Arc::new).collect(),
+        spec: TaskSpec::FairClassification {
+            target: "income_label".to_string(),
+            sensitive: "age".to_string(),
+        },
+        ground_truth: gt,
+        union_tables: Vec::new(),
+        eval_table: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    fn joined(s: &Scenario, table: &str, col: &str) -> Vec<f64> {
+        let t = s.tables.iter().find(|t| t.name == table).unwrap();
+        let c = metam_table::join::left_join_column(
+            &s.din,
+            0,
+            t,
+            0,
+            t.column_index(col).unwrap(),
+        )
+        .unwrap();
+        c.as_f64().into_iter().map(|v| v.unwrap_or(0.0)).collect()
+    }
+
+    #[test]
+    fn unfair_features_track_sensitive() {
+        let s = build_fairness(&FairnessConfig::default());
+        let age = s
+            .din
+            .column_by_name("age")
+            .unwrap()
+            .as_f64()
+            .into_iter()
+            .map(|v| v.unwrap())
+            .collect::<Vec<_>>();
+        let unfair = joined(&s, "profile_00", "score_0");
+        assert!(corr(&age, &unfair).abs() > 0.7, "unfair must correlate with sensitive");
+        let useful = joined(&s, "employment_00", "tenure_0");
+        assert!(corr(&age, &useful).abs() < 0.2, "useful must be fair");
+    }
+
+    #[test]
+    fn useful_features_predict_income() {
+        let s = build_fairness(&FairnessConfig::default());
+        let label: Vec<f64> = {
+            let col = s.din.column_by_name("income_label").unwrap();
+            (0..col.len())
+                .map(|i| match col.get(i) {
+                    metam_table::Value::Str(v) if v == "high" => 1.0,
+                    _ => 0.0,
+                })
+                .collect()
+        };
+        let useful = joined(&s, "employment_00", "tenure_0");
+        assert!(corr(&label, &useful) > 0.3);
+        let useless = joined(&s, "hobby_00", "level_0");
+        assert!(corr(&label, &useless).abs() < 0.15);
+    }
+
+    #[test]
+    fn ground_truth_marks_only_useful() {
+        let s = build_fairness(&FairnessConfig::default());
+        assert!(s.ground_truth.is_relevant("employment_00", "tenure_0"));
+        assert!(!s.ground_truth.is_relevant("profile_00", "score_0"));
+        assert!(!s.ground_truth.is_relevant("hobby_00", "level_0"));
+    }
+}

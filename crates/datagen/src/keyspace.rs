@@ -1,0 +1,77 @@
+//! Join-key domains: zipcode-like, id-like and city-name keys.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `n` distinct zipcode-like keys ("60601", "60602", …).
+pub fn zipcodes(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{:05}", 60000 + i)).collect()
+}
+
+/// `n` distinct entity-id keys with a prefix ("stu00042", …).
+pub fn ids(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i:05}")).collect()
+}
+
+/// Base pool of city names used by the entity-linking scenario. Real
+/// ambiguous US city names so the scenario reads like the paper's CDC
+/// example.
+pub const CITY_NAMES: &[&str] = &[
+    "Birmingham", "Springfield", "Franklin", "Clinton", "Greenville", "Bristol", "Salem",
+    "Fairview", "Madison", "Georgetown", "Arlington", "Ashland", "Dover", "Oxford", "Jackson",
+    "Burlington", "Manchester", "Milton", "Newport", "Auburn", "Centerville", "Clayton",
+    "Dayton", "Lexington", "Milford", "Riverside", "Troy", "Lebanon", "Kingston", "Hudson",
+    "Florence", "Danville", "Cleveland", "Columbus", "Marion", "Monroe", "Princeton", "Richmond",
+    "Winchester", "Lancaster",
+];
+
+/// US state abbreviations used by the linking scenario.
+pub const STATES: &[&str] = &[
+    "AL", "CA", "IL", "NY", "TX", "OH", "PA", "GA", "NC", "MI", "NJ", "VA", "WA", "MA", "TN",
+];
+
+/// Corrupt a key assignment: returns the keys with a seeded permutation
+/// applied, so joins still *succeed* but map to the wrong rows — the
+/// "incorrect join key" error mode of §VI.
+pub fn permute_keys<R: Rng>(keys: &[String], rng: &mut R) -> Vec<String> {
+    let mut permuted = keys.to_vec();
+    permuted.shuffle(rng);
+    permuted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipcodes_are_distinct_and_fixed_width() {
+        let z = zipcodes(100);
+        assert_eq!(z.len(), 100);
+        assert!(z.iter().all(|k| k.len() == 5));
+        let mut d = z.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn ids_carry_prefix() {
+        let k = ids("stu", 3);
+        assert_eq!(k[0], "stu00000");
+        assert_eq!(k[2], "stu00002");
+    }
+
+    #[test]
+    fn permutation_preserves_multiset() {
+        let keys = zipcodes(50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = permute_keys(&keys, &mut rng);
+        assert_ne!(p, keys, "seeded shuffle should move things");
+        let mut a = keys.clone();
+        let mut b = p.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # metam-datagen
+//!
+//! Seeded synthetic data repositories with *planted ground truth*, standing
+//! in for the paper's Open Data / Kaggle / Redfin corpora (see DESIGN.md,
+//! substitutions). Every generator is deterministic in its seed.
+//!
+//! A generated [`Scenario`] contains:
+//!
+//! * `din` — the input dataset,
+//! * `tables` — a repository of joinable tables mixing **informative**
+//!   columns (planted signal), **near-duplicates** (exercise property P2),
+//!   **irrelevant** noise columns, and **erroneous** join paths (key
+//!   assignment broken — the "incorrect joins" the paper measures 60 % of
+//!   in the Schools corpus),
+//! * a [`TaskSpec`] describing which downstream task the scenario drives,
+//! * a [`GroundTruth`] mapping `(table, column)` to planted relevance, so
+//!   experiments can count "queries to find the ground truth" (Fig. 8) and
+//!   build informative synthetic profiles (Figs. 9–10).
+
+#![warn(missing_docs)]
+
+pub mod causal_scenario;
+pub mod clustering;
+pub mod fairness;
+pub mod keyspace;
+pub mod linking;
+pub mod repo;
+pub mod scenario;
+pub mod semisynthetic;
+pub mod supervised;
+pub mod unions;
+
+pub use scenario::{GroundTruth, Scenario, TaskSpec};
+pub use supervised::{build_supervised, SupervisedConfig};

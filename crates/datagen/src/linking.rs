@@ -1,0 +1,178 @@
+//! Entity-linking scenario (§VI-A.4): ambiguous city mentions that need a
+//! disambiguating state column from the repository.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use metam_table::{Column, Table};
+
+use crate::keyspace::{ids, CITY_NAMES, STATES};
+use crate::scenario::{GroundTruth, Scenario, TaskSpec};
+
+/// Configuration of [`build_linking`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkingConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Rows in the CDC-style city statistics table.
+    pub n_rows: usize,
+    /// How many states each ambiguous city name appears in.
+    pub ambiguity: usize,
+    /// Irrelevant joinable tables (the paper's repository yields ≈185
+    /// candidates in total).
+    pub n_irrelevant_tables: usize,
+}
+
+impl Default for LinkingConfig {
+    fn default() -> Self {
+        LinkingConfig { seed: 0, n_rows: 300, ambiguity: 3, n_irrelevant_tables: 60 }
+    }
+}
+
+/// Build the linking scenario: `Din` has (city_id, city_name, some stats);
+/// the repository holds a `city_states` table mapping city_id → state (the
+/// useful augmentation) plus noise tables.
+pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n_rows;
+    let keys = ids("city", n);
+
+    // Assign each row a (name, state) entity; most names ambiguous.
+    let mut names = Vec::with_capacity(n);
+    let mut states = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = CITY_NAMES[i % CITY_NAMES.len()];
+        let state = STATES[(i / CITY_NAMES.len()) % cfg.ambiguity.clamp(1, STATES.len())];
+        names.push(name.to_string());
+        states.push(state.to_string());
+        truth.push(format!("{name}|{state}"));
+    }
+
+    let mut din = Table::from_columns(
+        "cdc_city_stats",
+        vec![
+            Column::from_strings(
+                Some("city_id".to_string()),
+                keys.iter().cloned().map(Some).collect(),
+            ),
+            Column::from_strings(
+                Some("city_name".to_string()),
+                names.iter().cloned().map(Some).collect(),
+            ),
+            Column::from_floats(
+                Some("obesity_rate".to_string()),
+                (0..n).map(|_| Some(rng.gen_range(0.1..0.5))).collect(),
+            ),
+        ],
+    )
+    .expect("aligned");
+    din.source = "cdc".to_string();
+
+    let mut gt = GroundTruth::default();
+    let mut tables = Vec::new();
+
+    // The useful table: city_id → state abbreviation. Built first, but
+    // *inserted mid-repository* below so no method gets a free ride from
+    // enumeration order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut state_table = Table::from_columns(
+        "city_states",
+        vec![
+            Column::from_strings(
+                Some("city_id".to_string()),
+                order.iter().map(|&i| Some(keys[i].clone())).collect(),
+            ),
+            Column::from_strings(
+                Some("state_abbrev".to_string()),
+                order.iter().map(|&i| Some(states[i].clone())).collect(),
+            ),
+        ],
+    )
+    .expect("aligned");
+    state_table.source = "census".to_string();
+    gt.mark("city_states", "state_abbrev", 1.0);
+
+    // Distractors: joinable but useless columns.
+    for t in 0..cfg.n_irrelevant_tables {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut table = Table::from_columns(
+            format!("city_misc_{t:03}"),
+            vec![
+                Column::from_strings(
+                    Some("city_id".to_string()),
+                    order.iter().map(|&i| Some(keys[i].clone())).collect(),
+                ),
+                Column::from_floats(
+                    Some(format!("stat_{t}")),
+                    (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect(),
+                ),
+                Column::from_strings(
+                    Some(format!("tag_{t}")),
+                    (0..n).map(|i| Some(format!("t{}", (i * (t + 3)) % 11))).collect(),
+                ),
+            ],
+        )
+        .expect("aligned");
+        table.source = "kaggle".to_string();
+        tables.push(table);
+    }
+
+    // Insert the useful table in the middle of the distractors.
+    let position = tables.len() / 2;
+    tables.insert(position, state_table);
+
+    Scenario {
+        name: "entity_linking".to_string(),
+        din,
+        tables: tables.into_iter().map(std::sync::Arc::new).collect(),
+        spec: TaskSpec::EntityLinking { mention: "city_name".to_string(), truth },
+        ground_truth: gt,
+        union_tables: Vec::new(),
+        eval_table: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_aligns_with_rows() {
+        let s = build_linking(&LinkingConfig::default());
+        match &s.spec {
+            TaskSpec::EntityLinking { truth, .. } => {
+                assert_eq!(truth.len(), s.din.nrows());
+                assert!(truth[0].contains('|'));
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_are_ambiguous() {
+        let s = build_linking(&LinkingConfig::default());
+        match &s.spec {
+            TaskSpec::EntityLinking { truth, .. } => {
+                // The same city name must map to several states.
+                let birmingham: std::collections::BTreeSet<&str> = truth
+                    .iter()
+                    .filter(|t| t.starts_with("Birmingham|"))
+                    .map(String::as_str)
+                    .collect();
+                assert!(birmingham.len() >= 2, "ambiguity required: {birmingham:?}");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn state_table_is_marked_relevant() {
+        let s = build_linking(&LinkingConfig::default());
+        assert!(s.ground_truth.is_relevant("city_states", "state_abbrev"));
+        assert_eq!(s.tables.len(), 1 + 60);
+    }
+}

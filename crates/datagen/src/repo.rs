@@ -1,0 +1,248 @@
+//! Repository-scale generators (Table I) and named scenario presets
+//! (Figs. 3–5, Table II).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use metam_table::{Column, Table};
+
+use crate::causal_scenario::{build_causal, CausalConfig, CausalKind};
+use crate::scenario::Scenario;
+use crate::supervised::{build_supervised, SupervisedConfig};
+
+/// A random "open-data-portal-like" repository: many tables with varied
+/// width/height, partial key overlap, missing headers and missing values —
+/// input to the Table I statistics.
+pub fn random_repository(seed: u64, n_tables: usize, source: &str) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tables = Vec::with_capacity(n_tables);
+    for t in 0..n_tables {
+        let n_rows = rng.gen_range(40..400);
+        let n_cols = rng.gen_range(2..12);
+        let key_domain = rng.gen_range(200..800);
+        let mut cols = Vec::with_capacity(n_cols);
+        // First column: a key drawn from a shared zip-like domain.
+        let keys: Vec<Option<String>> = (0..n_rows)
+            .map(|_| Some(format!("{:05}", 60000 + rng.gen_range(0..key_domain))))
+            .collect();
+        cols.push(Column::from_strings(Some("zipcode".to_string()), keys));
+        for c in 1..n_cols {
+            // 10 % of headers are missing (noisy schema).
+            let name = if rng.gen_range(0.0..1.0) < 0.1 {
+                None
+            } else {
+                Some(format!("col_{c}"))
+            };
+            let vals: Vec<Option<f64>> = (0..n_rows)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.05 {
+                        None
+                    } else {
+                        Some(rng.gen_range(0.0..100.0))
+                    }
+                })
+                .collect();
+            cols.push(Column::from_floats(name, vals));
+        }
+        let mut table = Table::from_columns(format!("{source}_table_{t:05}"), cols)
+            .expect("aligned");
+        table.source = source.to_string();
+        tables.push(table);
+    }
+    tables
+}
+
+/// Fig. 3(a) / Table II "Housing prices": house-price classification with
+/// Walmart/taxi/crime-flavoured informative tables.
+pub fn price_classification(seed: u64) -> Scenario {
+    build_supervised(&SupervisedConfig {
+        seed,
+        n_rows: 1000,
+        n_informative: 3,
+        n_duplicates: 2,
+        n_irrelevant_tables: 40,
+        n_erroneous_tables: 45,
+        n_redundant_tables: 30,
+        classification: true,
+        name: "housing_prices".to_string(),
+        ..Default::default()
+    })
+}
+
+/// Fig. 4(a) base / "Schools" classification: noisier, more erroneous
+/// candidates (the paper found 60 % of sampled candidates erroneous here).
+pub fn schools_classification(seed: u64) -> Scenario {
+    build_supervised(&SupervisedConfig {
+        seed: seed ^ 0x5C00,
+        n_rows: 900,
+        n_informative: 4,
+        n_duplicates: 2,
+        n_irrelevant_tables: 15,
+        n_erroneous_tables: 40,
+        n_redundant_tables: 20,
+        noise: 0.45,
+        classification: true,
+        name: "schools".to_string(),
+        ..Default::default()
+    })
+}
+
+/// Fig. 3(b) "Regression": NYC-collisions-flavoured regression (350 rows in
+/// the paper).
+pub fn collisions_regression(seed: u64) -> Scenario {
+    build_supervised(&SupervisedConfig {
+        seed: seed ^ 0xC011,
+        n_rows: 350,
+        n_informative: 3,
+        n_duplicates: 1,
+        n_irrelevant_tables: 20,
+        n_erroneous_tables: 10,
+        n_redundant_tables: 15,
+        classification: false,
+        name: "nyc_collisions".to_string(),
+        ..Default::default()
+    })
+}
+
+/// Fig. 3(c): what-if analysis on SAT scores. The candidate pool is
+/// dominated by irrelevant and erroneous joins, as in the paper's corpus.
+pub fn sat_whatif(seed: u64) -> Scenario {
+    build_causal(&CausalConfig {
+        seed: seed ^ 0x5A7,
+        kind: CausalKind::WhatIf,
+        n_irrelevant_tables: 140,
+        n_erroneous_tables: 60,
+        n_confounder_tables: 45,
+        name: "sat_whatif".to_string(),
+        ..Default::default()
+    })
+}
+
+/// Fig. 3(d): how-to analysis on SAT scores (240 candidates in the paper).
+pub fn sat_howto(seed: u64) -> Scenario {
+    build_causal(&CausalConfig {
+        seed: seed ^ 0x407,
+        kind: CausalKind::HowTo,
+        n_irrelevant_tables: 110,
+        n_erroneous_tables: 50,
+        n_confounder_tables: 45,
+        name: "sat_howto".to_string(),
+        ..Default::default()
+    })
+}
+
+/// Table II presets: name → scenario. `(C)` rows are causal tasks, the
+/// rest are predictive analytics, mirroring the paper's table.
+pub fn table2_scenarios(seed: u64) -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "Schools (C)",
+            build_causal(&CausalConfig {
+                seed: seed ^ 0x201,
+                kind: CausalKind::WhatIf,
+                n_irrelevant_tables: 120,
+                n_erroneous_tables: 50,
+                n_confounder_tables: 40,
+                name: "schools_causal".to_string(),
+                ..Default::default()
+            }),
+        ),
+        (
+            "Taxi (C)",
+            build_causal(&CausalConfig {
+                seed: seed ^ 0x202,
+                kind: CausalKind::HowTo,
+                n_irrelevant_tables: 100,
+                n_erroneous_tables: 40,
+                n_confounder_tables: 40,
+                name: "taxi_causal".to_string(),
+                ..Default::default()
+            }),
+        ),
+        (
+            "Crime (C)",
+            build_causal(&CausalConfig {
+                seed: seed ^ 0x203,
+                kind: CausalKind::WhatIf,
+                n_irrelevant_tables: 130,
+                n_erroneous_tables: 45,
+                n_confounder_tables: 35,
+                name: "crime_causal".to_string(),
+                ..Default::default()
+            }),
+        ),
+        (
+            "Housing prices (C)",
+            build_causal(&CausalConfig {
+                seed: seed ^ 0x204,
+                kind: CausalKind::HowTo,
+                n_irrelevant_tables: 110,
+                n_erroneous_tables: 45,
+                n_confounder_tables: 45,
+                name: "housing_causal".to_string(),
+                ..Default::default()
+            }),
+        ),
+        (
+            "Pharmacy",
+            build_supervised(&SupervisedConfig {
+                seed: seed ^ 0x205,
+                n_rows: 700,
+                n_informative: 3,
+                n_irrelevant_tables: 35,
+                n_erroneous_tables: 35,
+                n_redundant_tables: 25,
+                classification: true,
+                name: "pharmacy".to_string(),
+                ..Default::default()
+            }),
+        ),
+        (
+            "Grocery stores",
+            build_supervised(&SupervisedConfig {
+                seed: seed ^ 0x206,
+                n_rows: 700,
+                n_informative: 3,
+                n_irrelevant_tables: 35,
+                n_erroneous_tables: 35,
+                n_redundant_tables: 25,
+                classification: true,
+                name: "grocery".to_string(),
+                ..Default::default()
+            }),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_repository_has_requested_tables() {
+        let repo = random_repository(1, 20, "open-data");
+        assert_eq!(repo.len(), 20);
+        assert!(repo.iter().all(|t| t.ncols() >= 2));
+        // Some headers should be missing (noisy schemas).
+        let missing: usize = repo
+            .iter()
+            .map(|t| t.columns().iter().filter(|c| c.name.is_none()).count())
+            .sum();
+        assert!(missing > 0, "expected some anonymous columns");
+    }
+
+    #[test]
+    fn presets_build() {
+        assert_eq!(price_classification(0).name, "housing_prices");
+        assert!(!collisions_regression(0).spec.is_classification());
+        assert!(matches!(sat_whatif(0).spec, crate::scenario::TaskSpec::WhatIf { .. }));
+        assert!(matches!(sat_howto(0).spec, crate::scenario::TaskSpec::HowTo { .. }));
+    }
+
+    #[test]
+    fn table2_has_six_rows() {
+        let rows = table2_scenarios(0);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].0, "Schools (C)");
+    }
+}

@@ -1,0 +1,190 @@
+//! Scenario, task-spec and ground-truth types shared by all generators.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use metam_table::Table;
+
+/// What downstream task a scenario drives. Pure data — `metam-tasks`
+/// instantiates the actual [`Task`](../../metam_core/task/trait.Task.html).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskSpec {
+    /// Random-forest classification on a (binary, string-labelled) target.
+    Classification {
+        /// Target column name in `din`.
+        target: String,
+    },
+    /// Grid-search AutoML classification (Fig. 4a).
+    AutoMlClassification {
+        /// Target column name in `din`.
+        target: String,
+    },
+    /// Random-forest regression; utility = 1 − normalized MAE.
+    Regression {
+        /// Target column name in `din`.
+        target: String,
+    },
+    /// What-if analysis: which attributes react to an update of
+    /// `intervened`? Utility = fraction of `affected` recovered.
+    WhatIf {
+        /// Column (in `din`) being hypothetically updated.
+        intervened: String,
+        /// Base names of the truly affected attributes (matched against
+        /// augmented column names).
+        affected: Vec<String>,
+    },
+    /// How-to analysis: which attributes drive `outcome`? Utility =
+    /// fraction of `drivers` recovered.
+    HowTo {
+        /// Outcome column in `din`.
+        outcome: String,
+        /// Base names of the true causal drivers.
+        drivers: Vec<String>,
+    },
+    /// Fairness-aware classification (sensitive-correlated features are
+    /// dropped before training).
+    FairClassification {
+        /// Target column in `din`.
+        target: String,
+        /// Sensitive attribute column in `din`.
+        sensitive: String,
+    },
+    /// Entity linking against a synthetic knowledge graph.
+    EntityLinking {
+        /// Column of `din` holding the ambiguous mentions.
+        mention: String,
+        /// Ground-truth entity id (`name|state`) per `din` row.
+        truth: Vec<String>,
+    },
+    /// k-means clustering scored by purity against ground-truth categories.
+    Clustering {
+        /// Number of clusters.
+        k: usize,
+        /// Ground-truth category per `din` row (held by the task's
+        /// evaluation harness, like the paper's).
+        truth: Vec<usize>,
+    },
+    /// Union-based classification (Fig. 4b): augmentations are markers
+    /// selecting record-addition tables held by the task.
+    Unions {
+        /// Target column in `din`.
+        target: String,
+    },
+}
+
+impl TaskSpec {
+    /// The target column name, for supervised specs.
+    pub fn target_name(&self) -> Option<&str> {
+        match self {
+            TaskSpec::Classification { target }
+            | TaskSpec::AutoMlClassification { target }
+            | TaskSpec::Regression { target }
+            | TaskSpec::FairClassification { target, .. }
+            | TaskSpec::Unions { target } => Some(target),
+            TaskSpec::HowTo { outcome, .. } => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// Whether the supervised target is categorical.
+    pub fn is_classification(&self) -> bool {
+        matches!(
+            self,
+            TaskSpec::Classification { .. }
+                | TaskSpec::AutoMlClassification { .. }
+                | TaskSpec::FairClassification { .. }
+                | TaskSpec::Unions { .. }
+        )
+    }
+}
+
+/// Planted relevance information.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Relevance in `[0, 1]` keyed by `(table name, column name)`; columns
+    /// not present are irrelevant (0).
+    pub relevant: BTreeMap<(String, String), f64>,
+    /// Names of tables whose join keys were deliberately corrupted.
+    pub erroneous_tables: Vec<String>,
+}
+
+impl GroundTruth {
+    /// Mark a column relevant.
+    pub fn mark(&mut self, table: impl Into<String>, column: impl Into<String>, strength: f64) {
+        self.relevant.insert((table.into(), column.into()), strength.clamp(0.0, 1.0));
+    }
+
+    /// Relevance of a `(table, column)` pair.
+    pub fn relevance(&self, table: &str, column: &str) -> f64 {
+        if self.erroneous_tables.iter().any(|t| t == table) {
+            return 0.0;
+        }
+        self.relevant
+            .get(&(table.to_string(), column.to_string()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Does the pair identify a planted ground-truth augmentation?
+    pub fn is_relevant(&self, table: &str, column: &str) -> bool {
+        self.relevance(table, column) > 0.0
+    }
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// The input dataset.
+    pub din: Table,
+    /// The repository tables (shareable with index/materializer).
+    pub tables: Vec<Arc<Table>>,
+    /// The downstream task description.
+    pub spec: TaskSpec,
+    /// Planted relevance.
+    pub ground_truth: GroundTruth,
+    /// Auxiliary tables interpreted by the task itself (only used by the
+    /// Unions spec: the record-addition tables, aligned with marker ids).
+    pub union_tables: Vec<Table>,
+    /// Fixed held-out evaluation table for tasks that score on a dedicated
+    /// validation set (the Unions task).
+    pub eval_table: Option<Table>,
+}
+
+impl Scenario {
+    /// Index of the target column in `din`, when supervised.
+    pub fn target_column_index(&self) -> Option<usize> {
+        self.spec
+            .target_name()
+            .and_then(|t| self.din.column_index(t).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_lookup() {
+        let mut gt = GroundTruth::default();
+        gt.mark("crime", "rate", 0.8);
+        gt.erroneous_tables.push("bad_join".to_string());
+        gt.mark("bad_join", "x", 0.9);
+        assert_eq!(gt.relevance("crime", "rate"), 0.8);
+        assert_eq!(gt.relevance("crime", "other"), 0.0);
+        assert_eq!(gt.relevance("bad_join", "x"), 0.0, "erroneous tables are never relevant");
+        assert!(gt.is_relevant("crime", "rate"));
+    }
+
+    #[test]
+    fn task_spec_helpers() {
+        let c = TaskSpec::Classification { target: "y".into() };
+        assert_eq!(c.target_name(), Some("y"));
+        assert!(c.is_classification());
+        let r = TaskSpec::Regression { target: "y".into() };
+        assert!(!r.is_classification());
+        let w = TaskSpec::WhatIf { intervened: "x".into(), affected: vec![] };
+        assert_eq!(w.target_name(), None);
+    }
+}

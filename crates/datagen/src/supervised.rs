@@ -1,0 +1,453 @@
+//! The workhorse generator: supervised (classification / regression)
+//! scenarios with planted signal tables, near-duplicates, irrelevant noise
+//! and erroneous joins.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use metam_table::{Column, Table};
+
+use crate::keyspace::{permute_keys, zipcodes};
+use crate::scenario::{GroundTruth, Scenario, TaskSpec};
+
+/// Flavour names for informative tables, echoing the paper's anecdotes
+/// (Walmart presence, taxi trips, crime stats, grocery stores…).
+const INFORMATIVE_NAMES: &[&str] = &[
+    "crime_stats",
+    "taxi_trips",
+    "walmart_presence",
+    "grocery_stores",
+    "income_levels",
+    "school_ratings",
+    "air_quality",
+    "transit_access",
+    "park_coverage",
+    "restaurant_density",
+];
+
+/// Configuration of [`build_supervised`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Rows in `Din` (= size of the join-key domain).
+    pub n_rows: usize,
+    /// Number of planted informative signals / tables.
+    pub n_informative: usize,
+    /// Near-duplicate tables per informative table (property P2 fodder).
+    pub n_duplicates: usize,
+    /// Irrelevant (pure-noise) tables.
+    pub n_irrelevant_tables: usize,
+    /// Erroneous tables (signal present but join keys permuted).
+    pub n_erroneous_tables: usize,
+    /// Redundant decoy tables: columns highly correlated with the target
+    /// *through information `Din` already has* (a noisy copy of a base
+    /// feature). They rank top under a single correlation profile yet add
+    /// ~no utility — the trap that defeats single-profile ranking (§III-A).
+    pub n_redundant_tables: usize,
+    /// Extra noise columns inside every repository table.
+    pub extra_cols_per_table: usize,
+    /// Fraction of the key domain covered by each repository table.
+    pub key_coverage: f64,
+    /// Noise on the target relative to the signal.
+    pub noise: f64,
+    /// Probability of a missing cell in repository tables.
+    pub missing_ratio: f64,
+    /// Classification (string label) vs regression (numeric target).
+    pub classification: bool,
+    /// Scenario name.
+    pub name: String,
+}
+
+impl Default for SupervisedConfig {
+    fn default() -> Self {
+        SupervisedConfig {
+            seed: 0,
+            n_rows: 600,
+            n_informative: 3,
+            n_duplicates: 1,
+            n_irrelevant_tables: 10,
+            n_erroneous_tables: 5,
+            n_redundant_tables: 0,
+            extra_cols_per_table: 2,
+            key_coverage: 0.95,
+            noise: 0.35,
+            missing_ratio: 0.03,
+            classification: true,
+            name: "supervised".to_string(),
+        }
+    }
+}
+
+fn mix(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    z as f64 / u64::MAX as f64
+}
+
+/// The latent signal `s_j(key_index) ∈ [0, 1]`.
+fn signal(seed: u64, j: usize, key_index: usize) -> f64 {
+    mix(seed, (j as u64) + 1, key_index as u64)
+}
+
+/// Signal weights: descending, normalized to sum 1.
+fn weights(k: usize) -> Vec<f64> {
+    let raw: Vec<f64> = (0..k).map(|j| 1.0 / (1.0 + j as f64 * 0.6)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+fn maybe_missing<R: Rng>(v: f64, ratio: f64, rng: &mut R) -> Option<f64> {
+    if rng.gen_range(0.0..1.0) < ratio {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// A repository table over a subset of keys: one key column plus the given
+/// value columns (already aligned with the chosen key subset).
+#[allow(clippy::too_many_arguments)]
+fn repo_table<R: Rng>(
+    name: &str,
+    source: &str,
+    keys: &[String],
+    columns: Vec<(String, Vec<f64>)>,
+    coverage: f64,
+    missing: f64,
+    permute: bool,
+    rng: &mut R,
+) -> Table {
+    let n = keys.len();
+    let take = ((n as f64) * coverage).round().max(1.0) as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order.truncate(take);
+
+    let mut key_values: Vec<String> = order.iter().map(|&i| keys[i].clone()).collect();
+    if permute {
+        key_values = permute_keys(&key_values, rng);
+    }
+    let mut cols =
+        vec![Column::from_strings(Some("zipcode".to_string()), key_values.into_iter().map(Some).collect())];
+    for (cname, values) in columns {
+        let data: Vec<Option<f64>> = order
+            .iter()
+            .map(|&i| maybe_missing(values[i], missing, rng))
+            .collect();
+        cols.push(Column::from_floats(Some(cname), data));
+    }
+    let mut t = Table::from_columns(name, cols).expect("aligned columns");
+    t.source = source.to_string();
+    t
+}
+
+/// Build a supervised scenario. See [`SupervisedConfig`] for the knobs.
+pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n_rows;
+    let keys = zipcodes(n);
+    let w = weights(cfg.n_informative.max(1));
+
+    // Continuous target: weighted signal sum + noise.
+    let y_cont: Vec<f64> = (0..n)
+        .map(|i| {
+            let s: f64 = (0..cfg.n_informative).map(|j| w[j] * signal(cfg.seed, j, i)).sum();
+            s + cfg.noise * (mix(cfg.seed ^ 0xABCD, 0, i as u64) - 0.5)
+        })
+        .collect();
+    let mut sorted = y_cont.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[n / 2];
+
+    // Din: key + two base features (one weakly informative, one junk) + target.
+    let base1: Vec<Option<f64>> = (0..n)
+        .map(|i| {
+            Some(0.4 * signal(cfg.seed, 0, i) + 0.6 * mix(cfg.seed ^ 0x11, 1, i as u64))
+        })
+        .collect();
+    let base2: Vec<Option<f64>> =
+        (0..n).map(|i| Some(mix(cfg.seed ^ 0x22, 2, i as u64))).collect();
+    let target_col = if cfg.classification {
+        Column::from_strings(
+            Some("label".to_string()),
+            y_cont
+                .iter()
+                .map(|&y| Some(if y > median { "high".to_string() } else { "low".to_string() }))
+                .collect(),
+        )
+    } else {
+        Column::from_floats(Some("label".to_string()), y_cont.iter().map(|&y| Some(y)).collect())
+    };
+    let din = {
+        let mut t = Table::from_columns(
+            &cfg.name,
+            vec![
+                Column::from_strings(
+                    Some("zipcode".to_string()),
+                    keys.iter().cloned().map(Some).collect(),
+                ),
+                Column::from_floats(Some("base_metric".to_string()), base1),
+                Column::from_floats(Some("aux_metric".to_string()), base2),
+                target_col,
+            ],
+        )
+        .expect("din columns aligned");
+        t.source = "open-data".to_string();
+        t
+    };
+
+    let mut tables = Vec::new();
+    let mut gt = GroundTruth::default();
+
+    // Per-table join coverage: informative tables are *less* complete than
+    // the junk on average, so the Overlap ranking is misled exactly the way
+    // §II-C describes ("identifies datasets that contain fewer missing
+    // values, but does not guarantee to optimize the task").
+    let informative_coverage =
+        |rng: &mut StdRng| cfg.key_coverage * rng.gen_range(0.75..0.92);
+    let junk_coverage = |rng: &mut StdRng| (cfg.key_coverage * rng.gen_range(0.9..1.05)).min(0.99);
+
+    // Informative tables (+ near-duplicates).
+    for j in 0..cfg.n_informative {
+        let base_name = INFORMATIVE_NAMES[j % INFORMATIVE_NAMES.len()];
+        let signal_col = format!("{base_name}_value");
+        let values: Vec<f64> = (0..n)
+            .map(|i| signal(cfg.seed, j, i) + 0.15 * (mix(cfg.seed ^ 0x33, j as u64, i as u64) - 0.5))
+            .collect();
+        let mut columns = vec![(signal_col.clone(), values.clone())];
+        for e in 0..cfg.extra_cols_per_table {
+            let noise: Vec<f64> = (0..n)
+                .map(|i| mix(cfg.seed ^ 0x44, (j * 31 + e) as u64, i as u64))
+                .collect();
+            columns.push((format!("{base_name}_extra{e}"), noise));
+        }
+        let cov = informative_coverage(&mut rng);
+        tables.push(repo_table(
+            base_name,
+            "open-data",
+            &keys,
+            columns,
+            cov,
+            cfg.missing_ratio,
+            false,
+            &mut rng,
+        ));
+        gt.mark(base_name, &signal_col, w[j]);
+
+        for d in 0..cfg.n_duplicates {
+            let dup_name = format!("{base_name}_v{}", d + 2);
+            let dup_col = format!("{base_name}_value");
+            let dup_values: Vec<f64> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + 0.08 * (mix(cfg.seed ^ 0x55, (j * 7 + d) as u64, i as u64) - 0.5))
+                .collect();
+            let dup_cov = informative_coverage(&mut rng);
+            tables.push(repo_table(
+                &dup_name,
+                "open-data",
+                &keys,
+                vec![(dup_col.clone(), dup_values)],
+                dup_cov,
+                cfg.missing_ratio + 0.02,
+                false,
+                &mut rng,
+            ));
+            gt.mark(&dup_name, &dup_col, w[j] * 0.9);
+        }
+    }
+
+    // Irrelevant tables: joinable, pure noise.
+    for t in 0..cfg.n_irrelevant_tables {
+        let name = format!("misc_{t:03}");
+        let mut columns = Vec::new();
+        for e in 0..(1 + cfg.extra_cols_per_table) {
+            let noise: Vec<f64> = (0..n)
+                .map(|i| mix(cfg.seed ^ 0x66, (t * 17 + e) as u64, i as u64))
+                .collect();
+            columns.push((format!("metric_{e}"), noise));
+        }
+        let cov = junk_coverage(&mut rng);
+        tables.push(repo_table(
+            &name,
+            "kaggle",
+            &keys,
+            columns,
+            cov,
+            cfg.missing_ratio,
+            false,
+            &mut rng,
+        ));
+    }
+
+    // Redundant decoys: high target correlation, no new information.
+    for t in 0..cfg.n_redundant_tables {
+        let name = format!("estimates_{t:03}");
+        let col = format!("estimate_{t}");
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let b1 = 0.4 * signal(cfg.seed, 0, i) + 0.6 * mix(cfg.seed ^ 0x11, 1, i as u64);
+                0.9 * b1 + 0.1 * mix(cfg.seed ^ 0x77, t as u64, i as u64)
+            })
+            .collect();
+        let cov = junk_coverage(&mut rng);
+        tables.push(repo_table(
+            &name,
+            "kaggle",
+            &keys,
+            vec![(col, values)],
+            cov,
+            cfg.missing_ratio,
+            false,
+            &mut rng,
+        ));
+    }
+
+    // Erroneous tables: would-be signal, but the key assignment is permuted.
+    for t in 0..cfg.n_erroneous_tables {
+        let j = t % cfg.n_informative.max(1);
+        let name = format!("{}_mirror{t}", INFORMATIVE_NAMES[j % INFORMATIVE_NAMES.len()]);
+        let col = "shadow_value".to_string();
+        let values: Vec<f64> = (0..n).map(|i| signal(cfg.seed, j, i)).collect();
+        let cov = junk_coverage(&mut rng);
+        tables.push(repo_table(
+            &name,
+            "open-data",
+            &keys,
+            vec![(col, values)],
+            cov,
+            cfg.missing_ratio,
+            true,
+            &mut rng,
+        ));
+        gt.erroneous_tables.push(name);
+    }
+
+    let spec = if cfg.classification {
+        TaskSpec::Classification { target: "label".to_string() }
+    } else {
+        TaskSpec::Regression { target: "label".to_string() }
+    };
+
+    Scenario {
+        name: cfg.name.clone(),
+        din,
+        tables: tables.into_iter().map(std::sync::Arc::new).collect(),
+        spec,
+        ground_truth: gt,
+        union_tables: Vec::new(),
+        eval_table: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_shape_matches_config() {
+        let cfg = SupervisedConfig {
+            n_informative: 2,
+            n_duplicates: 1,
+            n_irrelevant_tables: 3,
+            n_erroneous_tables: 2,
+            ..Default::default()
+        };
+        let s = build_supervised(&cfg);
+        // 2 informative + 2 duplicates + 3 irrelevant + 2 erroneous.
+        assert_eq!(s.tables.len(), 9);
+        assert_eq!(s.din.nrows(), 600);
+        assert_eq!(s.ground_truth.erroneous_tables.len(), 2);
+        assert!(s.spec.is_classification());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SupervisedConfig::default();
+        let a = build_supervised(&cfg);
+        let b = build_supervised(&cfg);
+        assert_eq!(a.din, b.din);
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.as_ref(), tb.as_ref());
+        }
+    }
+
+    #[test]
+    fn ground_truth_marks_informative_columns() {
+        let s = build_supervised(&SupervisedConfig::default());
+        assert!(s.ground_truth.is_relevant("crime_stats", "crime_stats_value"));
+        assert!(!s.ground_truth.is_relevant("misc_000", "metric_0"));
+        // Duplicates carry slightly weaker relevance.
+        let main = s.ground_truth.relevance("crime_stats", "crime_stats_value");
+        let dup = s.ground_truth.relevance("crime_stats_v2", "crime_stats_value");
+        assert!(dup > 0.0 && dup < main);
+    }
+
+    #[test]
+    fn signal_correlates_with_target() {
+        let s = build_supervised(&SupervisedConfig {
+            classification: false,
+            ..Default::default()
+        });
+        // Join the first informative table manually and correlate.
+        let crime = s.tables.iter().find(|t| t.name == "crime_stats").unwrap();
+        let col = metam_table::join::left_join_column(
+            &s.din,
+            0,
+            crime,
+            0,
+            crime.column_index("crime_stats_value").unwrap(),
+        )
+        .unwrap();
+        let y = s.din.column_by_name("label").unwrap().as_f64();
+        let x = col.as_f64();
+        let pairs: Vec<(f64, f64)> =
+            x.iter().zip(&y).filter_map(|(a, b)| a.zip(*b)).collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = pairs.iter().map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / n;
+        let vx: f64 = pairs.iter().map(|(a, _)| (a - mx) * (a - mx)).sum::<f64>() / n;
+        let vy: f64 = pairs.iter().map(|(_, b)| (b - my) * (b - my)).sum::<f64>() / n;
+        let r = cov / (vx.sqrt() * vy.sqrt());
+        assert!(r > 0.4, "planted signal must correlate with target, r={r}");
+    }
+
+    #[test]
+    fn erroneous_tables_destroy_the_signal() {
+        let s = build_supervised(&SupervisedConfig {
+            classification: false,
+            ..Default::default()
+        });
+        let bad = s
+            .tables
+            .iter()
+            .find(|t| s.ground_truth.erroneous_tables.contains(&t.name))
+            .unwrap();
+        let col = metam_table::join::left_join_column(
+            &s.din,
+            0,
+            bad,
+            0,
+            bad.column_index("shadow_value").unwrap(),
+        )
+        .unwrap();
+        let y = s.din.column_by_name("label").unwrap().as_f64();
+        let x = col.as_f64();
+        let pairs: Vec<(f64, f64)> =
+            x.iter().zip(&y).filter_map(|(a, b)| a.zip(*b)).collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = pairs.iter().map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / n;
+        let vx: f64 = pairs.iter().map(|(a, _)| (a - mx) * (a - mx)).sum::<f64>() / n;
+        let vy: f64 = pairs.iter().map(|(_, b)| (b - my) * (b - my)).sum::<f64>() / n;
+        let r = (cov / (vx.sqrt() * vy.sqrt())).abs();
+        assert!(r < 0.15, "permuted keys must kill the correlation, |r|={r}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Unions scenario (Fig. 4b): record-addition augmentations for a rent
+//! prediction task.
+//!
+//! Union candidates cannot ride the join-path machinery directly, so each
+//! candidate is represented by a joinable *marker* table; the Unions task
+//! (in `metam-tasks`) reads which marker columns are present and unions the
+//! corresponding record tables into `Din` before training. Good candidates
+//! add in-distribution records (more training data → better F1); bad
+//! candidates add shifted records that mislead the model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use metam_table::{Column, Table};
+
+use crate::keyspace::ids;
+use crate::scenario::{GroundTruth, Scenario, TaskSpec};
+
+/// Configuration of [`build_unions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionsConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Rows in the base (small) training table.
+    pub n_base_rows: usize,
+    /// Rows per union candidate.
+    pub rows_per_candidate: usize,
+    /// In-distribution (useful) union candidates.
+    pub n_good: usize,
+    /// Distribution-shifted (harmful) union candidates.
+    pub n_bad: usize,
+}
+
+impl Default for UnionsConfig {
+    fn default() -> Self {
+        UnionsConfig { seed: 0, n_base_rows: 70, rows_per_candidate: 150, n_good: 4, n_bad: 12 }
+    }
+}
+
+/// Rent rows: features (sqft, rooms, distance) → label high/low.
+/// `flip_prob` corrupts labels to simulate out-of-distribution records —
+/// a batch from a different market whose price structure disagrees.
+fn rent_rows(
+    n: usize,
+    flip_prob: f64,
+    rng: &mut StdRng,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<String>) {
+    let mut sqft = Vec::with_capacity(n);
+    let mut rooms = Vec::with_capacity(n);
+    let mut dist = Vec::with_capacity(n);
+    let mut label = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = rng.gen_range(0.2..1.0);
+        let r = rng.gen_range(1.0..5.0);
+        let d = rng.gen_range(0.0..1.0);
+        let score = 0.35 * s + 0.1 * r / 5.0 - 0.2 * d + 0.12 * rng.gen_range(-1.0..1.0);
+        let mut high = score > 0.22;
+        if rng.gen_range(0.0..1.0) < flip_prob {
+            high = !high;
+        }
+        sqft.push(s);
+        rooms.push(r);
+        dist.push(d);
+        label.push(if high { "high".to_string() } else { "low".to_string() });
+    }
+    (sqft, rooms, dist, label)
+}
+
+fn rent_table(name: &str, n: usize, flip_prob: f64, rng: &mut StdRng) -> Table {
+    let (sqft, rooms, dist, label) = rent_rows(n, flip_prob, rng);
+    let mut t = Table::from_columns(
+        name,
+        vec![
+            Column::from_floats(Some("sqft".to_string()), sqft.into_iter().map(Some).collect()),
+            Column::from_floats(Some("rooms".to_string()), rooms.into_iter().map(Some).collect()),
+            Column::from_floats(
+                Some("subway_distance".to_string()),
+                dist.into_iter().map(Some).collect(),
+            ),
+            Column::from_strings(
+                Some("rent_label".to_string()),
+                label.into_iter().map(Some).collect(),
+            ),
+        ],
+    )
+    .expect("aligned");
+    t.source = "nyc-open-data".to_string();
+    t
+}
+
+/// Build the unions scenario. `tables` holds one *marker* table per union
+/// candidate (so discovery/materialization work unchanged); the actual
+/// record tables live in `Scenario::union_tables`, indexed by marker id.
+pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Fixed in-distribution evaluation set, held by the task (the paper's
+    // validation dataset): big enough that utility moves reflect real
+    // generalization changes, not split luck.
+    let eval_table = rent_table("nyc_rent_eval", 500, 0.0, &mut rng);
+    let mut din = rent_table("nyc_rent", cfg.n_base_rows, 0.0, &mut rng);
+    // A row-id key the marker tables join on.
+    let keys = ids("row", cfg.n_base_rows);
+    din.add_column(Column::from_strings(
+        Some("row_id".to_string()),
+        keys.iter().cloned().map(Some).collect(),
+    ))
+    .expect("row count matches");
+
+    let n_candidates = cfg.n_good + cfg.n_bad;
+    let mut marker_tables = Vec::with_capacity(n_candidates);
+    let mut union_tables = Vec::with_capacity(n_candidates);
+    let mut gt = GroundTruth::default();
+
+    for c in 0..n_candidates {
+        let good = c < cfg.n_good;
+        let name = format!("listings_batch_{c:02}");
+        // Marker table: row_id → constant flag column. The flag column name
+        // encodes the batch so the task can map marker → union table.
+        let marker_col = format!("union_marker_{c}");
+        let mut marker = Table::from_columns(
+            &name,
+            vec![
+                Column::from_strings(
+                    Some("row_id".to_string()),
+                    keys.iter().cloned().map(Some).collect(),
+                ),
+                Column::from_floats(
+                    Some(marker_col.clone()),
+                    (0..cfg.n_base_rows).map(|i| Some((c * 1000 + i % 7) as f64)).collect(),
+                ),
+            ],
+        )
+        .expect("aligned");
+        marker.source = "nyc-open-data".to_string();
+        marker_tables.push(marker);
+
+        let flip_prob = if good { 0.0 } else { rng.gen_range(0.35..0.5) };
+        union_tables.push(rent_table(&name, cfg.rows_per_candidate, flip_prob, &mut rng));
+        if good {
+            gt.mark(&name, &marker_col, 1.0);
+        }
+    }
+
+    Scenario {
+        name: "nyc_rent_unions".to_string(),
+        din,
+        tables: marker_tables.into_iter().map(std::sync::Arc::new).collect(),
+        spec: TaskSpec::Unions { target: "rent_label".to_string() },
+        ground_truth: gt,
+        union_tables,
+        eval_table: Some(eval_table),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_marker_per_union_candidate() {
+        let s = build_unions(&UnionsConfig::default());
+        assert_eq!(s.tables.len(), 16);
+        assert_eq!(s.union_tables.len(), 16);
+        assert!(matches!(s.spec, TaskSpec::Unions { .. }));
+    }
+
+    #[test]
+    fn union_tables_share_schema_with_din() {
+        let s = build_unions(&UnionsConfig::default());
+        for t in &s.union_tables {
+            assert!(t.column_by_name("rent_label").is_ok());
+            assert!(t.column_by_name("sqft").is_ok());
+        }
+    }
+
+    #[test]
+    fn good_batches_marked_relevant() {
+        let s = build_unions(&UnionsConfig::default());
+        assert!(s.ground_truth.is_relevant("listings_batch_00", "union_marker_0"));
+        assert!(!s.ground_truth.is_relevant("listings_batch_15", "union_marker_15"));
+    }
+}

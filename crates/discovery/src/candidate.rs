@@ -1,0 +1,134 @@
+//! Candidate augmentations: `Γ(Din, P[j])` (paper Definition 4).
+
+use metam_table::Table;
+
+use crate::index::DiscoveryIndex;
+use crate::path::{describe_path, enumerate_paths, JoinPath, PathConfig};
+
+/// Stable identifier of a candidate within one generation run.
+pub type CandidateId = usize;
+
+/// One candidate augmentation: a join path plus the projected column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Identifier (position in the generated candidate list).
+    pub id: CandidateId,
+    /// The join path to materialize.
+    pub path: JoinPath,
+    /// Column of the path's final table projected as the new attribute.
+    pub value_column: usize,
+    /// Human-readable description (`din_key→table.key ⊳ column`).
+    pub name: String,
+    /// Name of the repository table providing the value.
+    pub source_table: String,
+    /// Name of the projected column (display form).
+    pub column_name: String,
+    /// Provenance tag of the source table.
+    pub source: String,
+    /// First-hop containment estimated at discovery time.
+    pub discovered_containment: f64,
+}
+
+/// Generate candidate augmentations for `din` over an indexed repository.
+///
+/// Every non-key column of every enumerated join path becomes one
+/// candidate. The list is deterministic: paths in enumeration order,
+/// columns in table order, ids sequential from zero.
+pub fn generate_candidates(
+    din: &Table,
+    index: &DiscoveryIndex,
+    config: &PathConfig,
+    max_candidates: usize,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (path, containment) in enumerate_paths(din, index, config) {
+        let table_idx = path.last_table();
+        let table = index.table(table_idx);
+        let used_key = path.hops.last().expect("non-empty path").key_column;
+        for (ci, _col) in table.columns().iter().enumerate() {
+            if ci == used_key {
+                continue;
+            }
+            if out.len() >= max_candidates {
+                return out;
+            }
+            let column_name = table.column_display_name(ci);
+            let name = format!("{} ⊳ {}", describe_path(din, &path, index), column_name);
+            out.push(Candidate {
+                id: out.len(),
+                path: path.clone(),
+                value_column: ci,
+                name,
+                source_table: table.name.clone(),
+                column_name,
+                source: table.source.clone(),
+                discovered_containment: containment,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_table::Column;
+    use std::sync::Arc;
+
+    fn setup() -> (Table, DiscoveryIndex) {
+        let din = Table::from_columns(
+            "din",
+            vec![Column::from_strings(
+                Some("zip".into()),
+                (0..50).map(|i| Some(format!("z{i}"))).collect(),
+            )],
+        )
+        .unwrap();
+        let t0 = Table::from_columns(
+            "stats",
+            vec![
+                Column::from_strings(
+                    Some("zipcode".into()),
+                    (0..50).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(Some("a".into()), (0..50).map(|i| Some(i as f64)).collect()),
+                Column::from_floats(Some("b".into()), (0..50).map(|i| Some(-(i as f64))).collect()),
+            ],
+        )
+        .unwrap();
+        (din, DiscoveryIndex::build(vec![Arc::new(t0)]))
+    }
+
+    #[test]
+    fn one_candidate_per_non_key_column() {
+        let (din, idx) = setup();
+        let cands = generate_candidates(&din, &idx, &PathConfig::default(), 100);
+        assert_eq!(cands.len(), 2, "columns a and b, not the key");
+        assert_eq!(cands[0].column_name, "a");
+        assert_eq!(cands[1].column_name, "b");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let (din, idx) = setup();
+        let cands = generate_candidates(&din, &idx, &PathConfig::default(), 100);
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn cap_respected() {
+        let (din, idx) = setup();
+        let cands = generate_candidates(&din, &idx, &PathConfig::default(), 1);
+        assert_eq!(cands.len(), 1);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let (din, idx) = setup();
+        let cands = generate_candidates(&din, &idx, &PathConfig::default(), 100);
+        assert!(cands[0].name.contains("stats"), "{}", cands[0].name);
+        assert!(cands[0].name.contains("⊳ a"), "{}", cands[0].name);
+    }
+}

@@ -1,0 +1,191 @@
+//! The discovery index: per-column sketches over a repository.
+
+use std::sync::Arc;
+
+use metam_table::Table;
+
+use crate::minhash::MinHash;
+
+/// Reference to one column of one repository table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Table index within the repository.
+    pub table: usize,
+    /// Column index within the table.
+    pub column: usize,
+}
+
+/// Per-column metadata kept by the index.
+#[derive(Debug, Clone)]
+pub struct ColumnEntry {
+    /// Which column this entry describes.
+    pub column: ColumnRef,
+    /// MinHash sketch of the column's normalized distinct values.
+    pub sketch: MinHash,
+    /// Whether the column looks like a join key (mostly distinct values).
+    pub keyish: bool,
+}
+
+/// An index over every column of a repository, the Aurum stand-in.
+///
+/// Tables are held by `Arc` so the index, the materializer and the caller
+/// can share them without copying.
+#[derive(Debug, Clone)]
+pub struct DiscoveryIndex {
+    tables: Vec<Arc<Table>>,
+    entries: Vec<ColumnEntry>,
+}
+
+impl DiscoveryIndex {
+    /// Build an index over the repository. Every column is sketched; a
+    /// column is flagged `keyish` when ≥ 50 % of its non-null values are
+    /// distinct (a join on a low-cardinality column explodes and is skipped
+    /// during path enumeration).
+    pub fn build(tables: Vec<Arc<Table>>) -> DiscoveryIndex {
+        let mut entries = Vec::new();
+        for (ti, table) in tables.iter().enumerate() {
+            for (ci, col) in table.columns().iter().enumerate() {
+                let keys = col.distinct_keys();
+                let non_null = col.len() - col.null_count();
+                let keyish = non_null > 0 && keys.len() * 2 >= non_null;
+                entries.push(ColumnEntry {
+                    column: ColumnRef { table: ti, column: ci },
+                    sketch: MinHash::from_keys(&keys),
+                    keyish,
+                });
+            }
+        }
+        DiscoveryIndex { tables, entries }
+    }
+
+    /// The indexed tables.
+    pub fn tables(&self) -> &[Arc<Table>] {
+        &self.tables
+    }
+
+    /// Table by index.
+    pub fn table(&self, idx: usize) -> &Arc<Table> {
+        &self.tables[idx]
+    }
+
+    /// All column entries.
+    pub fn entries(&self) -> &[ColumnEntry] {
+        &self.entries
+    }
+
+    /// Columns (from any table except `exclude_table`) that a probe column
+    /// joins into: containment of the probe's values in the candidate column
+    /// is at least `threshold`. Results are sorted by containment descending
+    /// (ties by column ref) and restricted to `keyish` columns.
+    pub fn joinable_columns(
+        &self,
+        probe: &MinHash,
+        threshold: f64,
+        exclude_table: Option<usize>,
+    ) -> Vec<(ColumnRef, f64)> {
+        let mut out: Vec<(ColumnRef, f64)> = self
+            .entries
+            .iter()
+            .filter(|e| e.keyish && Some(e.column.table) != exclude_table)
+            .filter_map(|e| {
+                let c = probe.containment_in(&e.sketch);
+                (c >= threshold).then_some((e.column, c))
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// Repository statistics for Table I-style reporting.
+    pub fn stats(&self) -> IndexStats {
+        let n_tables = self.tables.len();
+        let n_columns = self.entries.len();
+        let n_keyish = self.entries.iter().filter(|e| e.keyish).count();
+        let bytes = self.tables.iter().map(|t| t.approx_bytes()).sum();
+        IndexStats { n_tables, n_columns, n_keyish, bytes }
+    }
+}
+
+/// Summary statistics of an index (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of tables.
+    pub n_tables: usize,
+    /// Number of columns.
+    pub n_columns: usize,
+    /// Number of join-key-like columns.
+    pub n_keyish: usize,
+    /// Approximate total size in bytes.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_table::Column;
+
+    fn repo() -> Vec<Arc<Table>> {
+        let zips: Vec<Option<String>> = (0..100).map(|i| Some(format!("z{i}"))).collect();
+        let t1 = Table::from_columns(
+            "crime",
+            vec![
+                Column::from_strings(Some("zip".into()), zips.clone()),
+                Column::from_floats(Some("rate".into()), (0..100).map(|i| Some(i as f64)).collect()),
+            ],
+        )
+        .unwrap();
+        // Low-cardinality column: not keyish.
+        let t2 = Table::from_columns(
+            "category",
+            vec![Column::from_strings(
+                Some("kind".into()),
+                (0..100).map(|i| Some(if i % 2 == 0 { "a" } else { "b" }.to_string())).collect(),
+            )],
+        )
+        .unwrap();
+        vec![Arc::new(t1), Arc::new(t2)]
+    }
+
+    #[test]
+    fn index_flags_keyish_columns() {
+        let idx = DiscoveryIndex::build(repo());
+        let entries = idx.entries();
+        assert!(entries[0].keyish, "distinct zip column is a key");
+        assert!(!entries[2].keyish, "binary category is not a key");
+    }
+
+    #[test]
+    fn joinable_columns_finds_overlap() {
+        let idx = DiscoveryIndex::build(repo());
+        let probe_keys: Vec<String> = (0..50).map(|i| format!("z{i}")).collect();
+        let probe = MinHash::from_keys(&probe_keys);
+        let hits = idx.joinable_columns(&probe, 0.5, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, ColumnRef { table: 0, column: 0 });
+        assert!(hits[0].1 > 0.8);
+    }
+
+    #[test]
+    fn exclude_table_is_respected() {
+        let idx = DiscoveryIndex::build(repo());
+        let probe_keys: Vec<String> = (0..50).map(|i| format!("z{i}")).collect();
+        let probe = MinHash::from_keys(&probe_keys);
+        assert!(idx.joinable_columns(&probe, 0.5, Some(0)).is_empty());
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let idx = DiscoveryIndex::build(repo());
+        let s = idx.stats();
+        assert_eq!(s.n_tables, 2);
+        assert_eq!(s.n_columns, 3);
+        // Both `zip` (distinct strings) and `rate` (distinct numbers) look
+        // key-like; the binary `kind` column does not.
+        assert_eq!(s.n_keyish, 2);
+        assert!(s.bytes > 0);
+    }
+}

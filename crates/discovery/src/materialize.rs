@@ -1,0 +1,227 @@
+//! Candidate materialization with caching.
+//!
+//! Materializing `Γ(Din, P[j])` = chaining left joins along the path and
+//! projecting one column, keeping the result row-aligned with `Din`.
+//! Candidates are materialized many times across the search (profiles,
+//! repeated utility queries), so results are cached behind an `Arc`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use metam_table::join::first_match_index;
+use metam_table::{Column, Table, TableError, Value};
+use parking_lot::RwLock;
+
+use crate::candidate::{Candidate, CandidateId};
+
+/// Materializes candidates against a fixed repository, caching per
+/// candidate id. Cheap to clone is not needed; share by reference.
+#[derive(Debug)]
+pub struct Materializer {
+    tables: Vec<Arc<Table>>,
+    cache: RwLock<HashMap<CandidateId, Arc<Column>>>,
+}
+
+impl Materializer {
+    /// New materializer over the repository tables (same order as the
+    /// [`crate::DiscoveryIndex`] that produced the candidates).
+    pub fn new(tables: Vec<Arc<Table>>) -> Materializer {
+        Materializer { tables, cache: RwLock::new(HashMap::new()) }
+    }
+
+    /// The repository tables.
+    pub fn tables(&self) -> &[Arc<Table>] {
+        &self.tables
+    }
+
+    /// Number of cached columns (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Materialize the candidate into a `din`-aligned column.
+    ///
+    /// The result is cached by candidate id; subsequent calls are `Arc`
+    /// clones. The cache assumes one `din` per materializer (true for every
+    /// search run); `clear_cache` resets it otherwise.
+    pub fn materialize(
+        &self,
+        din: &Table,
+        candidate: &Candidate,
+    ) -> metam_table::Result<Arc<Column>> {
+        if let Some(cached) = self.cache.read().get(&candidate.id) {
+            return Ok(Arc::clone(cached));
+        }
+        let column = self.materialize_uncached(din, candidate)?;
+        let arc = Arc::new(column);
+        self.cache.write().insert(candidate.id, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Drop all cached columns.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+    }
+
+    fn materialize_uncached(
+        &self,
+        din: &Table,
+        candidate: &Candidate,
+    ) -> metam_table::Result<Column> {
+        // Row mapping from Din rows into the current table of the chain.
+        let first = &candidate.path.hops[0];
+        let first_table = self
+            .tables
+            .get(first.table)
+            .ok_or(TableError::ColumnIndexOutOfBounds { index: first.table, len: self.tables.len() })?;
+        let probe_keys = din.column(first.left_column)?.join_keys();
+        let index = first_match_index(first_table.column(first.key_column)?);
+        if index.is_empty() {
+            return Err(TableError::EmptyJoinKey);
+        }
+        let mut mapping: Vec<Option<usize>> = probe_keys
+            .into_iter()
+            .map(|k| k.and_then(|k| index.get(&k).copied()))
+            .collect();
+        let mut current_table = Arc::clone(first_table);
+
+        for hop in &candidate.path.hops[1..] {
+            let bridge = current_table.column(hop.left_column)?;
+            let next_table = self
+                .tables
+                .get(hop.table)
+                .ok_or(TableError::ColumnIndexOutOfBounds { index: hop.table, len: self.tables.len() })?;
+            let next_index = first_match_index(next_table.column(hop.key_column)?);
+            if next_index.is_empty() {
+                return Err(TableError::EmptyJoinKey);
+            }
+            mapping = mapping
+                .into_iter()
+                .map(|m| {
+                    m.and_then(|row| bridge.get(row).join_key())
+                        .and_then(|k| next_index.get(&k).copied())
+                })
+                .collect();
+            current_table = Arc::clone(next_table);
+        }
+
+        let value_col = current_table.column(candidate.value_column)?;
+        let values: Vec<Value> = mapping
+            .into_iter()
+            .map(|m| m.map_or(Value::Null, |row| value_col.get(row)))
+            .collect();
+        let mut col = Column::from_values(Some(candidate.column_name.clone()), values);
+        // Augmented columns are named uniquely so repeated augmentations
+        // from different tables never collide inside the augmented Din.
+        col.name = Some(format!("aug{}_{}", candidate.id, candidate.column_name));
+        Ok(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DiscoveryIndex;
+    use crate::path::PathConfig;
+
+    fn setup() -> (Table, DiscoveryIndex, Materializer, Vec<Candidate>) {
+        let din = Table::from_columns(
+            "din",
+            vec![Column::from_strings(
+                Some("zip".into()),
+                vec![Some("z0".into()), Some("z1".into()), Some("zX".into())],
+            )],
+        )
+        .unwrap();
+        let t0 = Table::from_columns(
+            "crime",
+            vec![
+                Column::from_strings(
+                    Some("zipcode".into()),
+                    (0..40).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_strings(
+                    Some("district".into()),
+                    (0..40).map(|i| Some(format!("d{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("rate".into()),
+                    (0..40).map(|i| Some(i as f64)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let t1 = Table::from_columns(
+            "districts",
+            vec![
+                Column::from_strings(
+                    Some("id".into()),
+                    (0..40).map(|i| Some(format!("d{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("income".into()),
+                    (0..40).map(|i| Some(100.0 + i as f64)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let tables = vec![Arc::new(t0), Arc::new(t1)];
+        let index = DiscoveryIndex::build(tables.clone());
+        let cfg = PathConfig { containment_threshold: 0.05, ..Default::default() };
+        let candidates = crate::candidate::generate_candidates(&din, &index, &cfg, 100);
+        let mat = Materializer::new(tables);
+        (din, index, mat, candidates)
+    }
+
+    #[test]
+    fn single_hop_materializes_values_and_nulls() {
+        let (din, _idx, mat, cands) = setup();
+        let c = cands
+            .iter()
+            .find(|c| c.path.len() == 1 && c.column_name == "rate")
+            .expect("rate candidate");
+        let col = mat.materialize(&din, c).unwrap();
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.get(0), Value::Float(0.0));
+        assert_eq!(col.get(1), Value::Float(1.0));
+        assert_eq!(col.get(2), Value::Null, "zX has no match");
+    }
+
+    #[test]
+    fn two_hop_materializes_through_bridge() {
+        let (din, _idx, mat, cands) = setup();
+        let c = cands
+            .iter()
+            .find(|c| c.path.len() == 2 && c.column_name == "income")
+            .expect("two-hop income candidate");
+        let col = mat.materialize(&din, c).unwrap();
+        assert_eq!(col.get(0), Value::Float(100.0));
+        assert_eq!(col.get(1), Value::Float(101.0));
+        assert_eq!(col.get(2), Value::Null);
+    }
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let (din, _idx, mat, cands) = setup();
+        let c = &cands[0];
+        let a = mat.materialize(&din, c).unwrap();
+        let b = mat.materialize(&din, c).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(mat.cache_len(), 1);
+        mat.clear_cache();
+        assert_eq!(mat.cache_len(), 0);
+    }
+
+    #[test]
+    fn materialized_names_are_unique_per_candidate() {
+        let (din, _idx, mat, cands) = setup();
+        let names: Vec<String> = cands
+            .iter()
+            .map(|c| mat.materialize(&din, c).unwrap().name.clone().unwrap())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names must be unique: {names:?}");
+    }
+}

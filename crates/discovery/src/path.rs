@@ -1,0 +1,259 @@
+//! Join paths (paper Definition 3) and their enumeration.
+
+use metam_table::Table;
+
+use crate::index::{ColumnRef, DiscoveryIndex};
+use crate::minhash::MinHash;
+
+/// One equi-join hop in a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hop {
+    /// Column of the *previous* relation in the chain (the input dataset
+    /// for the first hop) providing the join values.
+    pub left_column: usize,
+    /// Repository table joined into.
+    pub table: usize,
+    /// Key column within that table.
+    pub key_column: usize,
+}
+
+/// An ordered chain of joins `Din ⋈ D1 ⋈ … ⋈ Dt`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinPath {
+    /// The hops, in join order. Never empty.
+    pub hops: Vec<Hop>,
+}
+
+impl JoinPath {
+    /// Single-hop path.
+    pub fn single(left_column: usize, table: usize, key_column: usize) -> JoinPath {
+        JoinPath { hops: vec![Hop { left_column, table, key_column }] }
+    }
+
+    /// Index of the final table in the chain.
+    pub fn last_table(&self) -> usize {
+        self.hops.last().expect("join path has at least one hop").table
+    }
+
+    /// Chain length `t` (number of joined datasets).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Join paths are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Enumeration limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathConfig {
+    /// Minimum containment of probe keys in the candidate key column.
+    pub containment_threshold: f64,
+    /// Maximum hops (1 = direct joins only, 2 adds transitive joins).
+    pub max_hops: usize,
+    /// Hard cap on enumerated paths (keeps adversarial repositories sane).
+    pub max_paths: usize,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig { containment_threshold: 0.6, max_hops: 2, max_paths: 50_000 }
+    }
+}
+
+/// Enumerate join paths from `din` into the indexed repository.
+///
+/// Every `keyish` column of `din` is probed; each discovered joinable
+/// column yields a 1-hop path, and (up to `max_hops`) each keyish column of
+/// a joined table is probed again for transitive paths. Paths are returned
+/// with the containment score of their *first* hop (the fraction of `din`
+/// rows expected to survive the chain start).
+pub fn enumerate_paths(
+    din: &Table,
+    index: &DiscoveryIndex,
+    config: &PathConfig,
+) -> Vec<(JoinPath, f64)> {
+    let mut out: Vec<(JoinPath, f64)> = Vec::new();
+
+    // Probe columns of Din that look like keys.
+    for (ci, col) in din.columns().iter().enumerate() {
+        let keys = col.distinct_keys();
+        let non_null = col.len() - col.null_count();
+        if non_null == 0 || keys.len() * 2 < non_null {
+            continue;
+        }
+        let probe = MinHash::from_keys(&keys);
+        for (target, containment) in
+            index.joinable_columns(&probe, config.containment_threshold, None)
+        {
+            if out.len() >= config.max_paths {
+                return out;
+            }
+            let path = JoinPath::single(ci, target.table, target.column);
+            out.push((path.clone(), containment));
+
+            if config.max_hops >= 2 {
+                extend_path(&path, containment, index, config, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Add 2nd-hop extensions of `path`.
+fn extend_path(
+    path: &JoinPath,
+    first_containment: f64,
+    index: &DiscoveryIndex,
+    config: &PathConfig,
+    out: &mut Vec<(JoinPath, f64)>,
+) {
+    let last = path.last_table();
+    let table = index.table(last);
+    let used_key = path.hops.last().expect("non-empty").key_column;
+    for (ci, col) in table.columns().iter().enumerate() {
+        if ci == used_key {
+            continue;
+        }
+        let keys = col.distinct_keys();
+        let non_null = col.len() - col.null_count();
+        if non_null == 0 || keys.len() * 2 < non_null {
+            continue;
+        }
+        let probe = MinHash::from_keys(&keys);
+        for (target, _containment) in
+            index.joinable_columns(&probe, config.containment_threshold, Some(last))
+        {
+            if out.len() >= config.max_paths {
+                return;
+            }
+            let mut hops = path.hops.clone();
+            hops.push(Hop { left_column: ci, table: target.table, key_column: target.column });
+            out.push((JoinPath { hops }, first_containment));
+        }
+    }
+}
+
+/// Pretty description like `zip→crime.zipcode→district.id`.
+pub fn describe_path(din: &Table, path: &JoinPath, index: &DiscoveryIndex) -> String {
+    let mut parts = vec![din.column_display_name(path.hops[0].left_column)];
+    for hop in &path.hops {
+        let t = index.table(hop.table);
+        parts.push(format!("{}.{}", t.name, t.column_display_name(hop.key_column)));
+    }
+    parts.join("→")
+}
+
+/// Re-export used by candidate generation.
+pub use crate::index::ColumnRef as PathColumnRef;
+
+#[allow(unused)]
+fn _assert_types(c: ColumnRef) -> ColumnRef {
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_table::Column;
+    use std::sync::Arc;
+
+    fn din() -> Table {
+        Table::from_columns(
+            "din",
+            vec![
+                Column::from_strings(
+                    Some("zip".into()),
+                    (0..60).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(Some("y".into()), (0..60).map(|i| Some(i as f64)).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn repo() -> DiscoveryIndex {
+        // t0 joins din.zip and bridges via "district" to t1.
+        let t0 = Table::from_columns(
+            "crime",
+            vec![
+                Column::from_strings(
+                    Some("zipcode".into()),
+                    (0..60).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_strings(
+                    Some("district".into()),
+                    (0..60).map(|i| Some(format!("d{i}"))).collect(),
+                ),
+                Column::from_floats(Some("rate".into()), (0..60).map(|i| Some(i as f64)).collect()),
+            ],
+        )
+        .unwrap();
+        let t1 = Table::from_columns(
+            "districts",
+            vec![
+                Column::from_strings(
+                    Some("id".into()),
+                    (0..60).map(|i| Some(format!("d{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("income".into()),
+                    (0..60).map(|i| Some(i as f64 * 2.0)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        DiscoveryIndex::build(vec![Arc::new(t0), Arc::new(t1)])
+    }
+
+    #[test]
+    fn finds_direct_and_transitive_paths() {
+        let idx = repo();
+        let paths = enumerate_paths(&din(), &idx, &PathConfig::default());
+        let single: Vec<_> = paths.iter().filter(|(p, _)| p.len() == 1).collect();
+        let double: Vec<_> = paths.iter().filter(|(p, _)| p.len() == 2).collect();
+        assert!(
+            single.iter().any(|(p, _)| p.last_table() == 0),
+            "direct join into crime expected"
+        );
+        assert!(
+            double.iter().any(|(p, _)| p.last_table() == 1),
+            "transitive join into districts expected: {paths:?}"
+        );
+    }
+
+    #[test]
+    fn max_hops_one_disables_transitive() {
+        let idx = repo();
+        let cfg = PathConfig { max_hops: 1, ..Default::default() };
+        let paths = enumerate_paths(&din(), &idx, &cfg);
+        assert!(paths.iter().all(|(p, _)| p.len() == 1));
+    }
+
+    #[test]
+    fn max_paths_caps_enumeration() {
+        let idx = repo();
+        let cfg = PathConfig { max_paths: 1, ..Default::default() };
+        let paths = enumerate_paths(&din(), &idx, &cfg);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn containment_scores_in_range() {
+        let idx = repo();
+        let paths = enumerate_paths(&din(), &idx, &PathConfig::default());
+        assert!(paths.iter().all(|(_, c)| (0.0..=1.0).contains(c)));
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let idx = repo();
+        let paths = enumerate_paths(&din(), &idx, &PathConfig::default());
+        let (p, _) = paths.iter().find(|(p, _)| p.len() == 1).unwrap();
+        let desc = describe_path(&din(), p, &idx);
+        assert!(desc.contains("zip"), "desc={desc}");
+        assert!(desc.contains("crime."), "desc={desc}");
+    }
+}

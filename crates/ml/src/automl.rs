@@ -1,0 +1,153 @@
+//! A small deterministic grid-search "AutoML".
+//!
+//! Stands in for TPOT / auto-sklearn / PyCaret in the paper's Fig. 4(a):
+//! the AutoML task wraps this search so a single utility query explores a
+//! model grid and returns the best validation score, exactly the black-box
+//! behaviour Metam assumes.
+
+use crate::dataset::MlDataset;
+use crate::forest::{RandomForest, RandomForestConfig};
+use crate::linear::LogisticRegression;
+use crate::metrics::accuracy;
+use crate::split::train_test_split;
+use crate::tree::{DecisionTree, TreeConfig, TreeTask};
+
+/// Which model the search settled on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutoMlChoice {
+    /// Random forest with `(n_trees, max_depth)`.
+    Forest(usize, usize),
+    /// Single CART tree with `max_depth`.
+    Tree(usize),
+    /// Logistic regression (binary only).
+    Logistic,
+}
+
+enum FittedModel {
+    Forest(RandomForest),
+    Tree(DecisionTree),
+    Logistic(LogisticRegression),
+}
+
+/// Result of an AutoML search: the winning fitted model and its metadata.
+pub struct AutoMl {
+    model: FittedModel,
+    /// Winning configuration.
+    pub choice: AutoMlChoice,
+    /// Validation accuracy of the winner during the search.
+    pub validation_score: f64,
+}
+
+impl AutoMl {
+    /// Grid-search classifiers and return the best by validation accuracy.
+    ///
+    /// Ties break toward the earlier grid entry, making the search fully
+    /// deterministic for a given `(data, seed)`.
+    pub fn fit_classification(data: &MlDataset, seed: u64) -> AutoMl {
+        let n_classes = data.n_classes.unwrap_or(2).max(2);
+        let task = TreeTask::Classification { n_classes };
+        let (train, val) = train_test_split(data, 0.3, seed);
+
+        let mut best: Option<(f64, AutoMlChoice, FittedModel)> = None;
+        let mut consider = |score: f64, choice: AutoMlChoice, model: FittedModel| {
+            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                best = Some((score, choice, model));
+            }
+        };
+
+        for &n_trees in &[8usize, 16] {
+            for &depth in &[4usize, 8] {
+                let cfg = RandomForestConfig {
+                    n_trees,
+                    tree: TreeConfig { max_depth: depth, ..Default::default() },
+                    seed,
+                };
+                let forest = RandomForest::fit(&train, task, cfg);
+                let score = accuracy(&forest.predict_batch(&val.features), &val.targets);
+                consider(score, AutoMlChoice::Forest(n_trees, depth), FittedModel::Forest(forest));
+            }
+        }
+        for &depth in &[6usize, 10] {
+            let cfg = TreeConfig { max_depth: depth, ..Default::default() };
+            let tree = DecisionTree::fit(&train, task, cfg, seed);
+            let score = accuracy(&tree.predict_batch(&val.features), &val.targets);
+            consider(score, AutoMlChoice::Tree(depth), FittedModel::Tree(tree));
+        }
+        if n_classes == 2 {
+            let logit = LogisticRegression::fit(&train.features, &train.targets, 200);
+            let preds: Vec<f64> = val.features.iter().map(|r| logit.predict(r)).collect();
+            let score = accuracy(&preds, &val.targets);
+            consider(score, AutoMlChoice::Logistic, FittedModel::Logistic(logit));
+        }
+
+        let (validation_score, choice, model) =
+            best.expect("grid always evaluates at least one model");
+        AutoMl { model, choice, validation_score }
+    }
+
+    /// Predict one row with the winning model.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        match &self.model {
+            FittedModel::Forest(f) => f.predict(row),
+            FittedModel::Tree(t) => t.predict(row),
+            FittedModel::Logistic(l) => l.predict(row),
+        }
+    }
+
+    /// Predict many rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> MlDataset {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..200 {
+            let x = (i % 100) as f64 / 100.0;
+            let z = ((i * 17) % 13) as f64;
+            features.push(vec![x, z]);
+            targets.push(if x > 0.45 { 1.0 } else { 0.0 });
+        }
+        MlDataset {
+            features,
+            feature_names: vec!["x".into(), "z".into()],
+            targets,
+            n_classes: Some(2),
+        }
+    }
+
+    #[test]
+    fn automl_finds_accurate_model() {
+        let m = AutoMl::fit_classification(&dataset(), 0);
+        assert!(m.validation_score > 0.85, "score={}", m.validation_score);
+    }
+
+    #[test]
+    fn automl_is_deterministic() {
+        let d = dataset();
+        let a = AutoMl::fit_classification(&d, 5);
+        let b = AutoMl::fit_classification(&d, 5);
+        assert_eq!(a.choice, b.choice);
+        assert_eq!(a.validation_score, b.validation_score);
+        assert_eq!(a.predict_batch(&d.features), b.predict_batch(&d.features));
+    }
+
+    #[test]
+    fn automl_handles_multiclass() {
+        let mut d = dataset();
+        d.targets = d
+            .features
+            .iter()
+            .map(|r| if r[0] < 0.33 { 0.0 } else if r[0] < 0.66 { 1.0 } else { 2.0 })
+            .collect();
+        d.n_classes = Some(3);
+        let m = AutoMl::fit_classification(&d, 0);
+        assert!(m.validation_score > 0.7);
+        assert_ne!(m.choice, AutoMlChoice::Logistic, "logistic is binary-only");
+    }
+}

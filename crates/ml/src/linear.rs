@@ -1,0 +1,215 @@
+//! Ridge and logistic regression.
+//!
+//! Ridge backs the quality-score weight learning (Lemma 4's closed form) and
+//! the causal substrate's linear SEM effect estimates; logistic regression is
+//! one of the AutoML candidates.
+
+use crate::matrix::{ridge_solve, Matrix};
+
+/// Per-feature standardization parameters.
+#[derive(Debug, Clone)]
+struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Scaler {
+    fn fit(rows: &[Vec<f64>]) -> Scaler {
+        let n = rows.len().max(1) as f64;
+        let d = rows.first().map_or(0, Vec::len);
+        let mut means = vec![0.0; d];
+        for row in rows {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for row in rows {
+            for (j, &v) in row.iter().enumerate() {
+                stds[j] += (v - means[j]).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Scaler { means, stds }
+    }
+
+    fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.means.get(j).copied().unwrap_or(0.0)) / self.stds.get(j).copied().unwrap_or(1.0))
+            .collect()
+    }
+}
+
+/// L2-regularized linear regression, fitted by the normal equations.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+    scaler: Scaler,
+}
+
+impl RidgeRegression {
+    /// Fit with regularization strength `lambda`.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], lambda: f64) -> RidgeRegression {
+        assert_eq!(rows.len(), targets.len());
+        let scaler = Scaler::fit(rows);
+        let scaled: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
+        let y_mean = if targets.is_empty() {
+            0.0
+        } else {
+            targets.iter().sum::<f64>() / targets.len() as f64
+        };
+        let centered: Vec<f64> = targets.iter().map(|&y| y - y_mean).collect();
+        let d = scaled.first().map_or(0, Vec::len);
+        let weights = if d == 0 || scaled.is_empty() {
+            vec![0.0; d]
+        } else {
+            let x = Matrix::from_rows(&scaled);
+            ridge_solve(&x, &centered, lambda.max(1e-9)).unwrap_or_else(|| vec![0.0; d])
+        };
+        RidgeRegression { weights, intercept: y_mean, scaler }
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let scaled = self.scaler.transform(row);
+        self.intercept
+            + scaled
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>()
+    }
+
+    /// Standardized coefficients (effect per standard deviation).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Binary logistic regression trained by full-batch gradient descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Scaler,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fit on 0/1 targets. `epochs` full-batch steps with fixed learning
+    /// rate and small L2; deterministic (no random init).
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], epochs: usize) -> LogisticRegression {
+        assert_eq!(rows.len(), targets.len());
+        let scaler = Scaler::fit(rows);
+        let scaled: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
+        let d = scaled.first().map_or(0, Vec::len);
+        let n = scaled.len().max(1) as f64;
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let lr = 0.5;
+        let l2 = 1e-3;
+        for _ in 0..epochs {
+            let mut grad_w = vec![0.0; d];
+            let mut grad_b = 0.0;
+            for (row, &y) in scaled.iter().zip(targets) {
+                let z = bias + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>();
+                let err = sigmoid(z) - y;
+                for (j, &x) in row.iter().enumerate() {
+                    grad_w[j] += err * x;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= lr * (g / n + l2 * *w);
+            }
+            bias -= lr * grad_b / n;
+        }
+        LogisticRegression { weights, bias, scaler }
+    }
+
+    /// Probability of class 1.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let scaled = self.scaler.transform(row);
+        sigmoid(
+            self.bias
+                + scaled
+                    .iter()
+                    .zip(&self.weights)
+                    .map(|(x, w)| x * w)
+                    .sum::<f64>(),
+        )
+    }
+
+    /// Hard 0/1 prediction at threshold 0.5.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        if self.predict_proba(row) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_fits_linear_function() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 3.0).collect();
+        let m = RidgeRegression::fit(&rows, &targets, 1e-6);
+        for (r, &y) in rows.iter().zip(&targets).take(5) {
+            assert!((m.predict(r) - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ridge_constant_feature_does_not_blow_up() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![5.0, i as f64]).collect();
+        let targets: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let m = RidgeRegression::fit(&rows, &targets, 1e-3);
+        assert!(m.predict(&[5.0, 3.0]).is_finite());
+    }
+
+    #[test]
+    fn logistic_separates_line() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let m = LogisticRegression::fit(&rows, &targets, 300);
+        let acc = rows
+            .iter()
+            .zip(&targets)
+            .filter(|(r, &y)| (m.predict(r) - y).abs() < 0.5)
+            .count() as f64
+            / rows.len() as f64;
+        assert!(acc >= 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_probability_monotone_in_signal() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let m = LogisticRegression::fit(&rows, &targets, 300);
+        assert!(m.predict_proba(&[0.9]) > m.predict_proba(&[0.1]));
+    }
+
+    #[test]
+    fn empty_fit_predicts_mean() {
+        let m = RidgeRegression::fit(&[], &[], 1.0);
+        assert_eq!(m.predict(&[]), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The [`Profile`] trait and parallel [`ProfileSet`] evaluation.
+
+use std::sync::Arc;
+
+use metam_discovery::{Candidate, Materializer};
+use metam_table::sample::sample_indices;
+use metam_table::{Column, Table};
+
+use crate::vector::ProfileVector;
+
+/// Everything a profile may look at when scoring one candidate.
+pub struct ProfileContext<'a> {
+    /// The input dataset.
+    pub din: &'a Table,
+    /// Index of the task's target attribute in `din`, when one exists
+    /// (supervised tasks); profiles relating the augmentation to the target
+    /// fall back to the best-matching `din` column otherwise.
+    pub target_column: Option<usize>,
+    /// Row sample (indices into `din` / the materialized column) on which
+    /// value-based profiles are estimated.
+    pub sample_indices: &'a [usize],
+    /// The candidate being profiled.
+    pub candidate: &'a Candidate,
+    /// The materialized augmentation column (aligned with `din` rows), or
+    /// `None` when materialization failed (noisy candidate).
+    pub aug: Option<&'a Column>,
+}
+
+impl ProfileContext<'_> {
+    /// Numeric sample of the augmentation column (row-aligned with
+    /// [`Self::target_sample`]).
+    pub fn aug_sample(&self) -> Vec<Option<f64>> {
+        match self.aug {
+            Some(col) => {
+                let full = col.as_f64();
+                self.sample_indices.iter().map(|&i| full.get(i).copied().flatten()).collect()
+            }
+            None => vec![None; self.sample_indices.len()],
+        }
+    }
+
+    /// Numeric sample of the target column (empty when no target).
+    pub fn target_sample(&self) -> Vec<Option<f64>> {
+        match self.target_column {
+            Some(t) => {
+                let full = self.din.columns()[t].as_f64();
+                self.sample_indices.iter().map(|&i| full.get(i).copied().flatten()).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A task-independent property of a candidate augmentation, valued in
+/// `[0, 1]` (Definition 7).
+pub trait Profile: Send + Sync {
+    /// Stable display name.
+    fn name(&self) -> &str;
+    /// Score one candidate. Implementations must return a finite value;
+    /// the set clamps to `[0, 1]`.
+    fn compute(&self, ctx: &ProfileContext<'_>) -> f64;
+}
+
+/// An ordered collection of profiles evaluated together.
+#[derive(Default)]
+pub struct ProfileSet {
+    profiles: Vec<Box<dyn Profile>>,
+}
+
+impl ProfileSet {
+    /// Empty set.
+    pub fn new() -> ProfileSet {
+        ProfileSet { profiles: Vec::new() }
+    }
+
+    /// Register a profile (order defines vector coordinates).
+    pub fn push(&mut self, profile: Box<dyn Profile>) {
+        self.profiles.push(profile);
+    }
+
+    /// Number of profiles (`l` in the paper's analysis).
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// `true` when no profiles are registered.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Profile names in coordinate order.
+    pub fn names(&self) -> Vec<&str> {
+        self.profiles.iter().map(|p| p.name()).collect()
+    }
+
+    /// Evaluate one candidate.
+    pub fn evaluate_one(&self, ctx: &ProfileContext<'_>) -> ProfileVector {
+        self.profiles
+            .iter()
+            .map(|p| {
+                let v = p.compute(ctx);
+                if v.is_finite() {
+                    v.clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluate every candidate, in parallel, on a seeded row sample of
+    /// `sample_size` records (the paper's setting is 100).
+    ///
+    /// Candidates whose materialization fails get an all-zero vector — they
+    /// are the "erroneous" candidates the search must discard on its own.
+    pub fn evaluate_all(
+        &self,
+        din: &Table,
+        target_column: Option<usize>,
+        candidates: &[Candidate],
+        materializer: &Materializer,
+        sample_size: usize,
+        seed: u64,
+    ) -> Vec<ProfileVector> {
+        let indices = sample_indices(din.nrows(), sample_size, seed);
+        let n = candidates.len();
+        let mut out: Vec<ProfileVector> = vec![Vec::new(); n];
+
+        let n_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let chunk = n.div_ceil(n_threads.max(1)).max(1);
+
+        crossbeam::thread::scope(|scope| {
+            for (slot, cands) in out.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+                let indices = &indices;
+                scope.spawn(move |_| {
+                    for (o, cand) in slot.iter_mut().zip(cands) {
+                        let aug: Option<Arc<Column>> = materializer.materialize(din, cand).ok();
+                        let ctx = ProfileContext {
+                            din,
+                            target_column,
+                            sample_indices: indices,
+                            candidate: cand,
+                            aug: aug.as_deref(),
+                        };
+                        *o = self.evaluate_one(&ctx);
+                    }
+                });
+            }
+        })
+        .expect("profile worker panicked");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_discovery::{generate_candidates, DiscoveryIndex};
+    use metam_table::Column;
+
+    struct ConstProfile(f64);
+    impl Profile for ConstProfile {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn compute(&self, _ctx: &ProfileContext<'_>) -> f64 {
+            self.0
+        }
+    }
+
+    fn setup() -> (Table, Materializer, Vec<Candidate>) {
+        let din = Table::from_columns(
+            "din",
+            vec![
+                Column::from_strings(
+                    Some("zip".into()),
+                    (0..30).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("y".into()),
+                    (0..30).map(|i| Some(i as f64)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let t = Table::from_columns(
+            "ext",
+            vec![
+                Column::from_strings(
+                    Some("zipcode".into()),
+                    (0..30).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("v".into()),
+                    (0..30).map(|i| Some(2.0 * i as f64)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let tables = vec![Arc::new(t)];
+        let index = DiscoveryIndex::build(tables.clone());
+        let cands =
+            generate_candidates(&din, &index, &metam_discovery::path::PathConfig::default(), 10);
+        (din, Materializer::new(tables), cands)
+    }
+
+    #[test]
+    fn clamping_and_nan_handling() {
+        let mut set = ProfileSet::new();
+        set.push(Box::new(ConstProfile(3.0)));
+        set.push(Box::new(ConstProfile(-1.0)));
+        set.push(Box::new(ConstProfile(f64::NAN)));
+        let (din, mat, cands) = setup();
+        let vecs = set.evaluate_all(&din, Some(1), &cands, &mat, 10, 0);
+        assert_eq!(vecs[0], vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_parallel_safe() {
+        let mut set = ProfileSet::new();
+        set.push(Box::new(crate::overlap::OverlapProfile));
+        let (din, mat, cands) = setup();
+        let a = set.evaluate_all(&din, Some(1), &cands, &mat, 10, 7);
+        let b = set.evaluate_all(&din, Some(1), &cands, &mat, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cands.len());
+    }
+
+    #[test]
+    fn names_in_order() {
+        let mut set = ProfileSet::new();
+        set.push(Box::new(ConstProfile(0.5)));
+        set.push(Box::new(crate::overlap::OverlapProfile));
+        assert_eq!(set.names(), vec!["const", "overlap"]);
+        assert_eq!(set.len(), 2);
+    }
+}

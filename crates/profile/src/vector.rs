@@ -1,0 +1,42 @@
+//! Profile vectors and the clustering metric.
+
+/// A candidate's profile values, all in `[0, 1]`, one per registered
+/// profile, in registration order.
+pub type ProfileVector = Vec<f64>;
+
+/// The distance the paper clusters with: `d(P1, P2) = max_i |r1_i − r2_i|`
+/// over profiles (§IV-B CLUSTER-PARTITION). L∞ makes the ε-cover argument
+/// (Lemma 2) a literal grid cover.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "profile vectors must align");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_max_coordinate_gap() {
+        assert_eq!(linf_distance(&[0.0, 0.5], &[0.1, 0.9]), 0.4);
+    }
+
+    #[test]
+    fn distance_identity_and_symmetry() {
+        let a = [0.2, 0.7, 0.4];
+        let b = [0.9, 0.1, 0.4];
+        assert_eq!(linf_distance(&a, &a), 0.0);
+        assert_eq!(linf_distance(&a, &b), linf_distance(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = [0.1, 0.2];
+        let b = [0.5, 0.9];
+        let c = [0.3, 0.4];
+        assert!(linf_distance(&a, &b) <= linf_distance(&a, &c) + linf_distance(&c, &b) + 1e-12);
+    }
+}

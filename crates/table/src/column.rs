@@ -1,0 +1,335 @@
+//! Typed, nullable columns with cheap numeric/key views and basic statistics.
+
+use crate::schema::DataType;
+use crate::value::Value;
+
+/// Homogeneous storage behind a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Nullable integers.
+    Int(Vec<Option<i64>>),
+    /// Nullable floats (never NaN; NaN normalizes to null).
+    Float(Vec<Option<f64>>),
+    /// Nullable strings.
+    Str(Vec<Option<String>>),
+    /// Nullable booleans.
+    Bool(Vec<Option<bool>>),
+}
+
+/// A named, typed, nullable column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Attribute name, possibly missing (noisy schema).
+    pub name: Option<String>,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Integer column.
+    pub fn from_ints(name: impl Into<Option<String>>, data: Vec<Option<i64>>) -> Self {
+        Column { name: name.into(), data: ColumnData::Int(data) }
+    }
+
+    /// Float column. NaNs are normalized to nulls.
+    pub fn from_floats(name: impl Into<Option<String>>, data: Vec<Option<f64>>) -> Self {
+        let data = data
+            .into_iter()
+            .map(|v| v.filter(|x| !x.is_nan()))
+            .collect();
+        Column { name: name.into(), data: ColumnData::Float(data) }
+    }
+
+    /// String column.
+    pub fn from_strings(name: impl Into<Option<String>>, data: Vec<Option<String>>) -> Self {
+        Column { name: name.into(), data: ColumnData::Str(data) }
+    }
+
+    /// Boolean column.
+    pub fn from_bools(name: impl Into<Option<String>>, data: Vec<Option<bool>>) -> Self {
+        Column { name: name.into(), data: ColumnData::Bool(data) }
+    }
+
+    /// Build a column from dynamic values, choosing the narrowest type that
+    /// fits every non-null value (Int ⊂ Float; anything else ⇒ Str).
+    pub fn from_values(name: impl Into<Option<String>>, values: Vec<Value>) -> Self {
+        let name = name.into();
+        let mut all_int = true;
+        let mut all_num = true;
+        let mut all_bool = true;
+        for v in &values {
+            match v {
+                Value::Null => {}
+                Value::Int(_) => {
+                    all_bool = false;
+                }
+                Value::Float(_) => {
+                    all_int = false;
+                    all_bool = false;
+                }
+                Value::Bool(_) => {
+                    all_int = false;
+                    all_num = false;
+                }
+                Value::Str(_) => {
+                    all_int = false;
+                    all_num = false;
+                    all_bool = false;
+                }
+            }
+        }
+        if all_bool {
+            let data = values
+                .into_iter()
+                .map(|v| match v {
+                    Value::Bool(b) => Some(b),
+                    _ => None,
+                })
+                .collect();
+            return Column { name, data: ColumnData::Bool(data) };
+        }
+        if all_int {
+            let data = values
+                .into_iter()
+                .map(|v| match v {
+                    Value::Int(i) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            return Column { name, data: ColumnData::Int(data) };
+        }
+        if all_num {
+            let data = values.into_iter().map(|v| v.as_f64()).collect();
+            return Column { name, data: ColumnData::Float(data) };
+        }
+        let data = values
+            .into_iter()
+            .map(|v| match v {
+                Value::Null => None,
+                other => Some(other.to_string()),
+            })
+            .collect();
+        Column { name, data: ColumnData::Str(data) }
+    }
+
+    /// Logical type.
+    pub fn dtype(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Raw storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dynamic value at `row` (out-of-bounds ⇒ `Null`).
+    pub fn get(&self, row: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Int),
+            ColumnData::Float(v) => {
+                v.get(row).copied().flatten().map_or(Value::Null, Value::Float)
+            }
+            ColumnData::Str(v) => v
+                .get(row)
+                .and_then(|o| o.clone())
+                .map_or(Value::Null, Value::Str),
+            ColumnData::Bool(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Number of missing values.
+    pub fn null_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Fraction of non-null values.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.null_count() as f64 / self.len() as f64
+    }
+
+    /// Numeric view: `None` per row when the value is null or non-numeric.
+    pub fn as_f64(&self) -> Vec<Option<f64>> {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().map(|x| x.map(|i| i as f64)).collect(),
+            ColumnData::Float(v) => v.clone(),
+            ColumnData::Bool(v) => v
+                .iter()
+                .map(|x| x.map(|b| if b { 1.0 } else { 0.0 }))
+                .collect(),
+            ColumnData::Str(v) => v
+                .iter()
+                .map(|x| x.as_deref().and_then(|s| s.trim().parse::<f64>().ok()))
+                .collect(),
+        }
+    }
+
+    /// Normalized join keys per row (see [`Value::join_key`]).
+    pub fn join_keys(&self) -> Vec<Option<String>> {
+        (0..self.len()).map(|i| self.get(i).join_key()).collect()
+    }
+
+    /// Sorted, deduplicated set of normalized keys. Used by the discovery
+    /// index for containment estimation.
+    pub fn distinct_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.join_keys().into_iter().flatten().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Mean of the numeric view (ignoring nulls); `None` when no numeric
+    /// values exist.
+    pub fn mean(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.as_f64().into_iter().flatten().collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Population standard deviation of the numeric view.
+    pub fn std(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.as_f64().into_iter().flatten().collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / vals.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Minimum of the numeric view.
+    pub fn min(&self) -> Option<f64> {
+        self.as_f64().into_iter().flatten().fold(None, |acc, x| {
+            Some(acc.map_or(x, |a: f64| a.min(x)))
+        })
+    }
+
+    /// Maximum of the numeric view.
+    pub fn max(&self) -> Option<f64> {
+        self.as_f64().into_iter().flatten().fold(None, |acc, x| {
+            Some(acc.map_or(x, |a: f64| a.max(x)))
+        })
+    }
+
+    /// Number of distinct non-null keys.
+    pub fn distinct_count(&self) -> usize {
+        self.distinct_keys().len()
+    }
+
+    /// Keep only the rows at `indices` (cloning values), e.g. for sampling.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let values: Vec<Value> = indices.iter().map(|&i| self.get(i)).collect();
+        Column::from_values(self.name.clone(), values)
+    }
+
+    /// Rename, builder style.
+    pub fn with_name(mut self, name: impl Into<String>) -> Column {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_col(vals: &[f64]) -> Column {
+        Column::from_floats(Some("x".to_string()), vals.iter().map(|&v| Some(v)).collect())
+    }
+
+    #[test]
+    fn from_values_narrows_types() {
+        let c = Column::from_values(None, vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        assert_eq!(c.dtype(), DataType::Int);
+        let c = Column::from_values(None, vec![Value::Int(1), Value::Float(0.5)]);
+        assert_eq!(c.dtype(), DataType::Float);
+        let c = Column::from_values(None, vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(c.dtype(), DataType::Str);
+        let c = Column::from_values(None, vec![Value::Bool(true), Value::Null]);
+        assert_eq!(c.dtype(), DataType::Bool);
+    }
+
+    #[test]
+    fn stats_ignore_nulls() {
+        let c = Column::from_floats(None, vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+        assert_eq!(c.null_count(), 1);
+        assert!((c.fill_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_of_constant_is_zero() {
+        let c = float_col(&[5.0, 5.0, 5.0]);
+        assert_eq!(c.std(), Some(0.0));
+    }
+
+    #[test]
+    fn numeric_view_parses_strings() {
+        let c = Column::from_strings(
+            None,
+            vec![Some("1.5".into()), Some("oops".into()), None],
+        );
+        assert_eq!(c.as_f64(), vec![Some(1.5), None, None]);
+    }
+
+    #[test]
+    fn distinct_keys_normalize_and_dedup() {
+        let c = Column::from_strings(
+            None,
+            vec![Some("Chicago".into()), Some(" chicago ".into()), Some("NYC".into()), None],
+        );
+        assert_eq!(c.distinct_keys(), vec!["chicago".to_string(), "nyc".to_string()]);
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn take_selects_rows() {
+        let c = Column::from_ints(None, vec![Some(10), Some(20), Some(30)]);
+        let t = c.take(&[2, 0]);
+        assert_eq!(t.get(0), Value::Int(30));
+        assert_eq!(t.get(1), Value::Int(10));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_null() {
+        let c = float_col(&[1.0]);
+        assert_eq!(c.get(5), Value::Null);
+    }
+
+    #[test]
+    fn nan_is_normalized_to_null() {
+        let c = Column::from_floats(None, vec![Some(f64::NAN), Some(1.0)]);
+        assert_eq!(c.null_count(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal RFC-4180-ish CSV reader/writer.
+//!
+//! Quoted fields, embedded commas/newlines and doubled quotes are handled.
+//! Types are inferred per column from the parsed cell values.
+
+use std::io::{BufRead, Write};
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// Split raw CSV text into records of fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(TableError::Csv("quote inside unquoted field".into()));
+                    }
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // swallow; \n terminates the record
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv("unterminated quoted field".into()));
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Read a table from CSV text. `has_header` controls whether the first
+/// record provides column names; empty header cells yield anonymous columns.
+pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Table::from_columns(name, Vec::new());
+    }
+    let header: Option<Vec<String>> = if has_header { Some(records.remove(0)) } else { None };
+    let ncols = header
+        .as_ref()
+        .map(|h| h.len())
+        .or_else(|| records.iter().map(|r| r.len()).max())
+        .unwrap_or(0);
+
+    let mut col_values: Vec<Vec<Value>> = vec![Vec::with_capacity(records.len()); ncols];
+    for record in &records {
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..ncols {
+            let raw = record.get(c).map(String::as_str).unwrap_or("");
+            col_values[c].push(Value::parse(raw));
+        }
+    }
+    let columns: Vec<Column> = col_values
+        .into_iter()
+        .enumerate()
+        .map(|(i, values)| {
+            let name = header.as_ref().and_then(|h| {
+                h.get(i).and_then(|n| {
+                    let t = n.trim();
+                    if t.is_empty() {
+                        None
+                    } else {
+                        Some(t.to_string())
+                    }
+                })
+            });
+            Column::from_values(name, values)
+        })
+        .collect();
+    Table::from_columns(name, columns)
+}
+
+/// Read a table from any buffered reader.
+pub fn read_csv<R: BufRead>(name: &str, mut reader: R, has_header: bool) -> Result<Table> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| TableError::Csv(e.to_string()))?;
+    read_csv_str(name, &text, has_header)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write a table as CSV (always with a header row).
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
+    let io_err = |e: std::io::Error| TableError::Csv(e.to_string());
+    let header: Vec<String> = (0..table.ncols())
+        .map(|i| escape(&table.column_display_name(i)))
+        .collect();
+    writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
+    for r in 0..table.nrows() {
+        let row: Vec<String> = table.row(r).iter().map(|v| escape(&v.to_string())).collect();
+        writeln!(writer, "{}", row.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Render a table to a CSV string.
+pub fn to_csv_string(table: &Table) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| TableError::Csv(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = read_csv_str("t", "a,b\n1,x\n2,y\n", true).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.column_by_name("a").unwrap().dtype(), DataType::Int);
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(t2.nrows(), 2);
+        assert_eq!(t2.column_by_name("b").unwrap().get(1), Value::Str("y".into()));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let t = read_csv_str("t", "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n", true).unwrap();
+        assert_eq!(t.column_by_name("a").unwrap().get(0), Value::Str("hello, world".into()));
+        assert_eq!(t.column_by_name("b").unwrap().get(0), Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn missing_cells_become_nulls() {
+        let t = read_csv_str("t", "a,b,c\n1,,3\n4,5\n", true).unwrap();
+        assert_eq!(t.column_by_name("b").unwrap().get(0), Value::Null);
+        assert_eq!(t.column_by_name("c").unwrap().get(1), Value::Null);
+    }
+
+    #[test]
+    fn empty_header_cell_is_anonymous() {
+        let t = read_csv_str("t", "a,,c\n1,2,3\n", true).unwrap();
+        assert_eq!(t.columns()[1].name, None);
+        assert_eq!(t.column_display_name(1), "_col1");
+    }
+
+    #[test]
+    fn no_header_mode() {
+        let t = read_csv_str("t", "1,2\n3,4\n", false).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert!(t.columns().iter().all(|c| c.name.is_none()));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_csv_str("t", "a,b\r\n1,2\r\n", true).unwrap();
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(t.column_by_name("b").unwrap().get(0), Value::Int(2));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv_str("t", "a\n\"oops\n", true).is_err());
+    }
+
+    #[test]
+    fn writer_escapes() {
+        let t = Table::from_columns(
+            "t",
+            vec![Column::from_strings(Some("a,b".into()), vec![Some("x\"y".into())])],
+        )
+        .unwrap();
+        let s = to_csv_string(&t).unwrap();
+        assert!(s.starts_with("\"a,b\""));
+        assert!(s.contains("\"x\"\"y\""));
+    }
+}

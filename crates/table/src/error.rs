@@ -1,0 +1,52 @@
+//! Error type shared by all table operations.
+
+use std::fmt;
+
+/// Errors produced by the table substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A column name could not be resolved against the schema.
+    ColumnNotFound(String),
+    /// A column index was out of bounds.
+    ColumnIndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of columns in the table.
+        len: usize,
+    },
+    /// Columns appended to a table must all have the same number of rows.
+    LengthMismatch {
+        /// Expected row count.
+        expected: usize,
+        /// Row count of the offending column.
+        actual: usize,
+    },
+    /// The operation needed a numeric column but got something else.
+    NotNumeric(String),
+    /// Malformed CSV input.
+    Csv(String),
+    /// Two tables could not be aligned for a union.
+    UnionMismatch(String),
+    /// A join was requested on an empty or all-null key column.
+    EmptyJoinKey,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            TableError::ColumnIndexOutOfBounds { index, len } => {
+                write!(f, "column index {index} out of bounds for table with {len} columns")
+            }
+            TableError::LengthMismatch { expected, actual } => {
+                write!(f, "column length mismatch: expected {expected} rows, got {actual}")
+            }
+            TableError::NotNumeric(name) => write!(f, "column {name:?} is not numeric"),
+            TableError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TableError::UnionMismatch(msg) => write!(f, "union mismatch: {msg}"),
+            TableError::EmptyJoinKey => write!(f, "join key column has no usable values"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}

@@ -1,0 +1,225 @@
+//! Hash joins used to materialize join paths.
+//!
+//! Join-path materialization (paper Definition 3/4) always keeps the input
+//! dataset's rows intact, so everything here is a *left* join: each left row
+//! picks up the first matching right row, or nulls when no match exists.
+//! First-match semantics keeps the augmented table row-aligned with `Din`,
+//! which the paper's `Γ(Din, P[j])` projection requires.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// A single equi-join hop: `left.left_key == right.right_key`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Key column index on the left side.
+    pub left_key: usize,
+    /// Key column index on the right side.
+    pub right_key: usize,
+}
+
+/// Build a first-match lookup from normalized key to row index.
+///
+/// Exposed because multi-hop materialization in the discovery crate chains
+/// row mappings through intermediate tables.
+pub fn first_match_index(col: &Column) -> HashMap<String, usize> {
+    key_index(col)
+}
+
+fn key_index(col: &Column) -> HashMap<String, usize> {
+    let keys = col.join_keys();
+    let mut map = HashMap::with_capacity(keys.len());
+    for (row, key) in keys.into_iter().enumerate() {
+        if let Some(k) = key {
+            map.entry(k).or_insert(row);
+        }
+    }
+    map
+}
+
+/// For each left row, the matching right row (first match), if any.
+pub fn match_rows(left_key: &Column, right_key: &Column) -> Result<Vec<Option<usize>>> {
+    let index = key_index(right_key);
+    if index.is_empty() {
+        return Err(TableError::EmptyJoinKey);
+    }
+    Ok(left_key
+        .join_keys()
+        .into_iter()
+        .map(|k| k.and_then(|k| index.get(&k).copied()))
+        .collect())
+}
+
+/// Fraction of left keys that find a match on the right; the *dataset
+/// overlap* statistic used by the overlap profile and the Overlap baseline.
+pub fn match_ratio(left_key: &Column, right_key: &Column) -> f64 {
+    let index = key_index(right_key);
+    if left_key.is_empty() || index.is_empty() {
+        return 0.0;
+    }
+    let keys = left_key.join_keys();
+    let hits = keys
+        .iter()
+        .filter(|k| k.as_ref().is_some_and(|k| index.contains_key(k)))
+        .count();
+    hits as f64 / keys.len() as f64
+}
+
+/// Left-join a single value column: for every left row, the value of
+/// `right[value_col]` on the first matching right row (null on no match).
+///
+/// This is the workhorse of augmentation materialization: a candidate
+/// augmentation is exactly one such projected column.
+pub fn left_join_column(
+    left: &Table,
+    left_key: usize,
+    right: &Table,
+    right_key: usize,
+    value_col: usize,
+) -> Result<Column> {
+    let lk = left.column(left_key)?;
+    let rk = right.column(right_key)?;
+    let vc = right.column(value_col)?;
+    let matches = match_rows(lk, rk)?;
+    let values: Vec<Value> = matches
+        .into_iter()
+        .map(|m| m.map_or(Value::Null, |row| vc.get(row)))
+        .collect();
+    Ok(Column::from_values(vc.name.clone(), values))
+}
+
+/// Left-join whole tables: the result keeps all left columns and appends all
+/// right columns except the join key, with name-collision suffixing.
+pub fn join_tables(left: &Table, right: &Table, spec: &JoinSpec) -> Result<Table> {
+    let lk = left.column(spec.left_key)?;
+    let rk = right.column(spec.right_key)?;
+    let matches = match_rows(lk, rk)?;
+
+    let mut out = left.clone();
+    for (ci, col) in right.columns().iter().enumerate() {
+        if ci == spec.right_key {
+            continue;
+        }
+        let values: Vec<Value> = matches
+            .iter()
+            .map(|m| m.map_or(Value::Null, |row| col.get(row)))
+            .collect();
+        let mut new_col = Column::from_values(col.name.clone(), values);
+        if let Some(name) = &new_col.name {
+            if out.column_index(name).is_ok() {
+                new_col.name = Some(format!("{}_{}", name, right.name));
+            }
+        }
+        out.add_column(new_col)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> Table {
+        Table::from_columns(
+            "din",
+            vec![
+                Column::from_strings(
+                    Some("zip".into()),
+                    vec![Some("60614".into()), Some("60615".into()), Some("99999".into()), None],
+                ),
+                Column::from_floats(
+                    Some("price".into()),
+                    vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        Table::from_columns(
+            "crime",
+            vec![
+                Column::from_strings(
+                    Some("zipcode".into()),
+                    vec![Some("60615".into()), Some("60614".into()), Some("60614".into())],
+                ),
+                Column::from_floats(
+                    Some("crimes".into()),
+                    vec![Some(10.0), Some(20.0), Some(999.0)],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn left_join_column_first_match_and_nulls() {
+        let c = left_join_column(&left(), 0, &right(), 0, 1).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(0), Value::Float(20.0), "first match wins, not 999");
+        assert_eq!(c.get(1), Value::Float(10.0));
+        assert_eq!(c.get(2), Value::Null, "unmatched key");
+        assert_eq!(c.get(3), Value::Null, "null key never matches");
+    }
+
+    #[test]
+    fn match_ratio_counts_hits() {
+        // 2 of 4 left rows (60614, 60615) match.
+        assert!((match_ratio(left().column(0).unwrap(), right().column(0).unwrap()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_tables_appends_non_key_columns() {
+        let j = join_tables(&left(), &right(), &JoinSpec { left_key: 0, right_key: 0 }).unwrap();
+        assert_eq!(j.ncols(), 3);
+        assert_eq!(j.nrows(), 4);
+        assert_eq!(j.column_by_name("crimes").unwrap().get(1), Value::Float(10.0));
+    }
+
+    #[test]
+    fn join_tables_suffixes_collisions() {
+        let r = Table::from_columns(
+            "other",
+            vec![
+                Column::from_strings(Some("zipcode".into()), vec![Some("60614".into())]),
+                Column::from_floats(Some("price".into()), vec![Some(7.0)]),
+            ],
+        )
+        .unwrap();
+        let j = join_tables(&left(), &r, &JoinSpec { left_key: 0, right_key: 0 }).unwrap();
+        assert!(j.column_by_name("price_other").is_ok());
+    }
+
+    #[test]
+    fn empty_key_errors() {
+        let r = Table::from_columns(
+            "empty",
+            vec![
+                Column::from_strings(Some("k".into()), vec![None, None]),
+                Column::from_floats(Some("v".into()), vec![Some(1.0), Some(2.0)]),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            left_join_column(&left(), 0, &r, 0, 1),
+            Err(TableError::EmptyJoinKey)
+        ));
+    }
+
+    #[test]
+    fn numeric_keys_join_with_string_keys() {
+        let l = Table::from_columns(
+            "l",
+            vec![Column::from_ints(Some("zip".into()), vec![Some(60614)])],
+        )
+        .unwrap();
+        let c = left_join_column(&l, 0, &right(), 0, 1).unwrap();
+        assert_eq!(c.get(0), Value::Float(20.0));
+    }
+}

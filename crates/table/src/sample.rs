@@ -1,0 +1,89 @@
+//! Seeded row sampling.
+//!
+//! The paper computes data profiles on a random sample of 100 records
+//! (§VI "Settings"); this module provides the deterministic sampler used
+//! for that.
+
+use crate::table::Table;
+
+/// Deterministic xorshift-style index shuffle. We avoid pulling `rand` into
+/// this leaf crate; sampling only needs a reproducible pseudo-random
+/// permutation, not statistical quality.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A reproducible sample of `k` distinct row indices from `0..n`
+/// (Fisher–Yates on the prefix). When `k >= n` returns `0..n` shuffled.
+pub fn sample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let take = k.min(n);
+    for i in 0..take {
+        let j = i + (splitmix64(&mut state) as usize) % (n - i);
+        indices.swap(i, j);
+    }
+    indices.truncate(take);
+    indices
+}
+
+/// A reproducible row sample of up to `k` rows.
+pub fn sample_rows(table: &Table, k: usize, seed: u64) -> Table {
+    let indices = sample_indices(table.nrows(), k, seed);
+    table.take_rows(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn sample_is_deterministic() {
+        assert_eq!(sample_indices(100, 10, 7), sample_indices(100, 10, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(sample_indices(1000, 20, 1), sample_indices(1000, 20, 2));
+    }
+
+    #[test]
+    fn sample_has_distinct_indices_in_range() {
+        let s = sample_indices(50, 25, 3);
+        assert_eq!(s.len(), 25);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 25, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn oversized_k_returns_all() {
+        let s = sample_indices(5, 100, 1);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sample_rows_keeps_schema() {
+        let t = Table::from_columns(
+            "t",
+            vec![Column::from_ints(Some("a".into()), (0..100).map(Some).collect())],
+        )
+        .unwrap();
+        let s = sample_rows(&t, 10, 42);
+        assert_eq!(s.nrows(), 10);
+        assert_eq!(s.ncols(), 1);
+        assert_eq!(s.column_by_name("a").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn empty_table_samples_empty() {
+        assert!(sample_indices(0, 10, 1).is_empty());
+    }
+}

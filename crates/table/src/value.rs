@@ -1,0 +1,203 @@
+//! Scalar cell values and parsing.
+
+use std::fmt;
+
+/// A single (possibly missing) cell value.
+///
+/// Tables in open repositories are noisy: a column routinely mixes numbers,
+/// free text and blanks. `Value` is the dynamic scalar used at cell
+/// granularity; [`crate::Column`] stores homogeneous typed vectors and only
+/// falls back to `Str` when parsing fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Never NaN (NaN is normalized to `Null`).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Parse a raw text field into the most specific value type.
+    ///
+    /// Empty strings and common null markers become [`Value::Null`].
+    pub fn parse(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        match trimmed.to_ascii_lowercase().as_str() {
+            "na" | "n/a" | "null" | "none" | "nan" | "-" => return Value::Null,
+            "true" => return Value::Bool(true),
+            "false" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(x) = trimmed.parse::<f64>() {
+            if x.is_nan() {
+                return Value::Null;
+            }
+            return Value::Float(x);
+        }
+        Value::Str(trimmed.to_string())
+    }
+
+    /// `true` when the value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: integers and floats convert, booleans map to 0/1,
+    /// everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Normalized string key used for joins and containment sketches.
+    ///
+    /// Join keys in open data disagree on case and padding far more often
+    /// than on content, so keys are compared lower-cased and trimmed.
+    /// Integral floats normalize to their integer spelling so `60614.0`
+    /// joins with `60614`.
+    pub fn join_key(&self) -> Option<String> {
+        match self {
+            Value::Null => None,
+            Value::Int(i) => Some(i.to_string()),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    Some(format!("{}", *x as i64))
+                } else {
+                    Some(format!("{x}"))
+                }
+            }
+            Value::Str(s) => {
+                let k = s.trim().to_ascii_lowercase();
+                if k.is_empty() {
+                    None
+                } else {
+                    Some(k)
+                }
+            }
+            Value::Bool(b) => Some(b.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_detects_integers() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse(" -7 "), Value::Int(-7));
+    }
+
+    #[test]
+    fn parse_detects_floats() {
+        assert_eq!(Value::parse("3.25"), Value::Float(3.25));
+        assert_eq!(Value::parse("1e3"), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn parse_detects_nulls() {
+        for raw in ["", "  ", "NA", "n/a", "null", "None", "NaN", "-"] {
+            assert_eq!(Value::parse(raw), Value::Null, "raw={raw:?}");
+        }
+    }
+
+    #[test]
+    fn parse_detects_bools_and_strings() {
+        assert_eq!(Value::parse("true"), Value::Bool(true));
+        assert_eq!(Value::parse("FALSE"), Value::Bool(false));
+        assert_eq!(Value::parse("Chicago"), Value::Str("Chicago".into()));
+    }
+
+    #[test]
+    fn nan_float_becomes_null() {
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn join_key_normalizes_case_and_numbers() {
+        assert_eq!(Value::Str(" Chicago ".into()).join_key(), Some("chicago".into()));
+        assert_eq!(Value::Float(60614.0).join_key(), Some("60614".into()));
+        assert_eq!(Value::Int(60614).join_key(), Some("60614".into()));
+        assert_eq!(Value::Null.join_key(), None);
+    }
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

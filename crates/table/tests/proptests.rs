@@ -1,0 +1,134 @@
+//! Property-based tests for the table substrate.
+
+use metam_table::csv::{read_csv_str, to_csv_string};
+use metam_table::join::{left_join_column, match_ratio};
+use metam_table::sample::sample_indices;
+use metam_table::union::union_tables;
+use metam_table::{Column, Table, Value};
+use proptest::prelude::*;
+
+fn float_opt() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        3 => (-1e6f64..1e6).prop_map(Some),
+        1 => Just(None),
+    ]
+}
+
+fn string_cell() -> impl Strategy<Value = Option<String>> {
+    // Prefix with a letter that can never form a null marker ("na",
+    // "none", "null", "nan", "-"): those strings legitimately round-trip
+    // to nulls by the CSV convention.
+    prop_oneof![
+        4 => "w[a-z]{0,7}".prop_map(Some),
+        1 => Just(None),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_preserves_shape(rows in prop::collection::vec(
+        (float_opt(), string_cell()), 0..40)) {
+        let floats: Vec<Option<f64>> = rows.iter().map(|(f, _)| *f).collect();
+        let strs: Vec<Option<String>> = rows.iter().map(|(_, s)| s.clone()).collect();
+        let t = Table::from_columns(
+            "t",
+            vec![
+                Column::from_floats(Some("num".into()), floats),
+                Column::from_strings(Some("txt".into()), strs),
+            ],
+        ).unwrap();
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        prop_assert_eq!(t2.nrows(), t.nrows());
+        prop_assert_eq!(t2.ncols(), t.ncols());
+        // Null pattern of the string column survives the roundtrip.
+        for r in 0..t.nrows() {
+            let orig = t.columns()[1].get(r).is_null();
+            let back = t2.columns()[1].get(r).is_null();
+            prop_assert_eq!(orig, back, "row {}", r);
+        }
+    }
+
+    #[test]
+    fn join_output_is_left_aligned(
+        left_keys in prop::collection::vec("[a-c]", 1..30),
+        right_keys in prop::collection::vec("[a-e]", 1..30),
+    ) {
+        let left = Table::from_columns(
+            "l",
+            vec![Column::from_strings(Some("k".into()), left_keys.iter().cloned().map(Some).collect())],
+        ).unwrap();
+        let right = Table::from_columns(
+            "r",
+            vec![
+                Column::from_strings(Some("k".into()), right_keys.iter().cloned().map(Some).collect()),
+                Column::from_ints(Some("v".into()), (0..right_keys.len() as i64).map(Some).collect()),
+            ],
+        ).unwrap();
+        let joined = left_join_column(&left, 0, &right, 0, 1).unwrap();
+        prop_assert_eq!(joined.len(), left.nrows());
+        // Every non-null joined value is the *first* right occurrence of the key.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..left.nrows() {
+            if let Value::Int(v) = joined.get(r) {
+                let key = &left_keys[r];
+                let first = right_keys.iter().position(|k| k == key).unwrap() as i64;
+                prop_assert_eq!(v, first);
+            } else {
+                prop_assert!(!right_keys.contains(&left_keys[r]));
+            }
+        }
+    }
+
+    #[test]
+    fn match_ratio_bounded(
+        left_keys in prop::collection::vec("[a-d]", 1..40),
+        right_keys in prop::collection::vec("[a-d]", 1..40),
+    ) {
+        let lk = Column::from_strings(None, left_keys.into_iter().map(Some).collect());
+        let rk = Column::from_strings(None, right_keys.into_iter().map(Some).collect());
+        let ratio = match_ratio(&lk, &rk);
+        prop_assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded(n in 0usize..500, k in 0usize..600, seed: u64) {
+        let s = sample_indices(n, k, seed);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n.max(1)));
+    }
+
+    #[test]
+    fn union_row_count_adds(
+        a_rows in prop::collection::vec(float_opt(), 0..20),
+        b_rows in prop::collection::vec(float_opt(), 0..20),
+    ) {
+        let a = Table::from_columns("a", vec![Column::from_floats(Some("x".into()), a_rows.clone())]).unwrap();
+        let b = Table::from_columns("b", vec![Column::from_floats(Some("x".into()), b_rows.clone())]).unwrap();
+        let u = union_tables(&a, &b).unwrap();
+        prop_assert_eq!(u.nrows(), a_rows.len() + b_rows.len());
+        prop_assert_eq!(u.ncols(), 1);
+    }
+
+    #[test]
+    fn column_stats_within_range(vals in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let c = Column::from_floats(None, vals.iter().map(|&v| Some(v)).collect());
+        let mn = c.min().unwrap();
+        let mx = c.max().unwrap();
+        let mean = c.mean().unwrap();
+        prop_assert!(mn <= mean + 1e-9 && mean <= mx + 1e-9);
+        prop_assert!(c.std().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn value_parse_roundtrip_numbers(x in -1e9f64..1e9) {
+        let shown = format!("{x}");
+        let v = Value::parse(&shown);
+        let back = v.as_f64().unwrap();
+        prop_assert!((back - x).abs() <= 1e-9 * x.abs().max(1.0));
+    }
+}

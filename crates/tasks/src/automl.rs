@@ -1,0 +1,81 @@
+//! AutoML classification task (Fig. 4a).
+//!
+//! One utility query runs the whole model grid (our TPOT/auto-sklearn
+//! stand-in) and reports the winner's validation accuracy on a held-out
+//! evaluation split.
+
+use metam_core::Task;
+use metam_ml::automl::AutoMl;
+use metam_ml::dataset::{encode_table, TargetKind};
+use metam_ml::metrics::accuracy;
+use metam_ml::split::train_test_split;
+use metam_table::Table;
+
+use crate::util::drop_idlike_columns;
+
+/// AutoML classification over a named target.
+pub struct AutoMlTask {
+    /// Target column name.
+    pub target: String,
+    /// Grid/split seed.
+    pub seed: u64,
+}
+
+impl AutoMlTask {
+    /// New AutoML task.
+    pub fn new(target: impl Into<String>, seed: u64) -> AutoMlTask {
+        AutoMlTask { target: target.into(), seed }
+    }
+}
+
+impl Task for AutoMlTask {
+    fn name(&self) -> &str {
+        "automl-classification"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        let clean = drop_idlike_columns(table, &[self.target.as_str()]);
+        let Ok(data) = encode_table(&clean, &self.target, TargetKind::Classification) else {
+            return 0.0;
+        };
+        if data.len() < 30 || data.n_features() == 0 {
+            return 0.0;
+        }
+        // Outer split: AutoML searches on `search`, we score on `eval`.
+        let (search, eval) = train_test_split(&data, 0.25, self.seed ^ 0xE7A1);
+        let model = AutoMl::fit_classification(&search, self.seed);
+        accuracy(&model.predict_batch(&eval.features), &eval.targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+    use metam_table::join::left_join_column;
+
+    #[test]
+    fn automl_utility_improves_with_signal() {
+        let s = build_supervised(&SupervisedConfig {
+            n_rows: 400,
+            n_informative: 2,
+            n_irrelevant_tables: 1,
+            n_erroneous_tables: 0,
+            ..Default::default()
+        });
+        let task = AutoMlTask::new("label", 0);
+        let base = task.utility(&s.din);
+        let crime = s.tables.iter().find(|t| t.name == "crime_stats").unwrap();
+        let col = left_join_column(
+            &s.din,
+            0,
+            crime,
+            0,
+            crime.column_index("crime_stats_value").unwrap(),
+        )
+        .unwrap()
+        .with_name("aug0_crime");
+        let boosted = task.utility(&s.din.with_column(col).unwrap());
+        assert!(boosted > base, "base={base} boosted={boosted}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Instantiate a [`Task`] from a datagen [`TaskSpec`].
+
+use metam_core::Task;
+use metam_datagen::{Scenario, TaskSpec};
+
+use crate::automl::AutoMlTask;
+use crate::classification::ClassificationTask;
+use crate::clustering::ClusteringTask;
+use crate::entity_linking::EntityLinkingTask;
+use crate::fairness::FairClassificationTask;
+use crate::howto::HowToTask;
+use crate::regression::RegressionTask;
+use crate::unions::UnionTask;
+use crate::whatif::WhatIfTask;
+
+/// Build the downstream task a scenario describes. `seed` controls the
+/// task-internal randomness (splits, model fits) and is independent of the
+/// scenario's data seed.
+pub fn build_task(scenario: &Scenario, seed: u64) -> Box<dyn Task> {
+    match &scenario.spec {
+        TaskSpec::Classification { target } => Box::new(ClassificationTask::new(target, seed)),
+        TaskSpec::AutoMlClassification { target } => Box::new(AutoMlTask::new(target, seed)),
+        TaskSpec::Regression { target } => Box::new(RegressionTask::new(target, seed)),
+        TaskSpec::WhatIf { intervened, affected } => {
+            Box::new(WhatIfTask::new(intervened, affected.clone()))
+        }
+        TaskSpec::HowTo { outcome, drivers } => {
+            Box::new(HowToTask::new(outcome, drivers.clone()))
+        }
+        TaskSpec::FairClassification { target, sensitive } => {
+            Box::new(FairClassificationTask::new(target, sensitive, seed))
+        }
+        TaskSpec::EntityLinking { mention, truth } => {
+            Box::new(EntityLinkingTask::new(mention, truth.clone()))
+        }
+        TaskSpec::Clustering { k, truth } => Box::new(ClusteringTask::new(*k, truth.clone())),
+        TaskSpec::Unions { target } => Box::new(
+            UnionTask::new(target, scenario.union_tables.clone(), seed)
+                .with_eval(scenario.eval_table.clone()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+
+    #[test]
+    fn builder_matches_spec() {
+        let s = build_supervised(&SupervisedConfig::default());
+        let t = build_task(&s, 0);
+        assert_eq!(t.name(), "classification");
+        let u = t.utility(&s.din);
+        assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn builder_handles_every_spec_kind() {
+        use metam_datagen::causal_scenario::{build_causal, CausalConfig, CausalKind};
+        let s = build_causal(&CausalConfig::default());
+        assert_eq!(build_task(&s, 0).name(), "what-if");
+        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
+        assert_eq!(build_task(&s, 0).name(), "how-to");
+        let s = metam_datagen::linking::build_linking(&Default::default());
+        assert_eq!(build_task(&s, 0).name(), "entity-linking");
+        let s = metam_datagen::clustering::build_clustering(&Default::default());
+        assert_eq!(build_task(&s, 0).name(), "clustering");
+        let s = metam_datagen::fairness::build_fairness(&Default::default());
+        assert_eq!(build_task(&s, 0).name(), "fair-classification");
+        let s = metam_datagen::unions::build_unions(&Default::default());
+        assert_eq!(build_task(&s, 0).name(), "unions-classification");
+    }
+}

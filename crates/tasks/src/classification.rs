@@ -1,0 +1,129 @@
+//! Random-forest classification task (§VI-A "Classification").
+//!
+//! Utility = macro F-score of a forest trained on a seeded split of the
+//! (augmented) table — the paper's Price/Schools setting.
+
+use metam_core::Task;
+use metam_ml::dataset::{encode_table, TargetKind};
+use metam_ml::forest::{RandomForest, RandomForestConfig};
+use metam_ml::metrics::f1_macro;
+use metam_ml::split::train_test_split;
+use metam_ml::tree::{TreeConfig, TreeTask};
+use metam_table::Table;
+
+use crate::util::drop_idlike_columns;
+
+/// Classification task over a named target column.
+pub struct ClassificationTask {
+    /// Target column name.
+    pub target: String,
+    /// Split/model seed.
+    pub seed: u64,
+    /// Forest size (kept small — the utility is queried thousands of
+    /// times per experiment).
+    pub n_trees: usize,
+    /// Tree depth.
+    pub max_depth: usize,
+    /// Number of seeded split/fit repetitions averaged per query —
+    /// variance reduction so the utility reflects the augmentation, not
+    /// split luck.
+    pub repeats: usize,
+}
+
+impl ClassificationTask {
+    /// Task with the default (paper-scale) model.
+    pub fn new(target: impl Into<String>, seed: u64) -> ClassificationTask {
+        ClassificationTask { target: target.into(), seed, n_trees: 8, max_depth: 6, repeats: 3 }
+    }
+}
+
+impl Task for ClassificationTask {
+    fn name(&self) -> &str {
+        "classification"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        let clean = drop_idlike_columns(table, &[self.target.as_str()]);
+        let Ok(data) = encode_table(&clean, &self.target, TargetKind::Classification) else {
+            return 0.0;
+        };
+        if data.len() < 20 || data.n_features() == 0 {
+            return 0.0;
+        }
+        let n_classes = data.n_classes.unwrap_or(2).max(2);
+        let mut total = 0.0;
+        let repeats = self.repeats.max(1);
+        for r in 0..repeats {
+            let seed = self.seed ^ (r as u64).wrapping_mul(0x9E3779B9);
+            let (train, val) = train_test_split(&data, 0.3, seed);
+            let forest = RandomForest::fit(
+                &train,
+                TreeTask::Classification { n_classes },
+                RandomForestConfig {
+                    n_trees: self.n_trees,
+                    tree: TreeConfig { max_depth: self.max_depth, ..Default::default() },
+                    seed,
+                },
+            );
+            let preds = forest.predict_batch(&val.features);
+            total += f1_macro(&preds, &val.targets, n_classes);
+        }
+        total / repeats as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+    use metam_table::join::left_join_column;
+
+    fn scenario() -> metam_datagen::Scenario {
+        build_supervised(&SupervisedConfig {
+            n_rows: 400,
+            n_informative: 2,
+            n_irrelevant_tables: 2,
+            n_erroneous_tables: 1,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn informative_augmentation_raises_utility() {
+        let s = scenario();
+        let task = ClassificationTask::new("label", 0);
+        let base = task.utility(&s.din);
+        assert!((0.4..0.95).contains(&base), "base={base}");
+
+        let crime = s.tables.iter().find(|t| t.name == "crime_stats").unwrap();
+        let col = left_join_column(
+            &s.din,
+            0,
+            crime,
+            0,
+            crime.column_index("crime_stats_value").unwrap(),
+        )
+        .unwrap()
+        .with_name("aug0_crime");
+        let augmented = s.din.with_column(col).unwrap();
+        let boosted = task.utility(&augmented);
+        assert!(
+            boosted > base + 0.05,
+            "augmentation must help: base={base} boosted={boosted}"
+        );
+    }
+
+    #[test]
+    fn utility_is_deterministic() {
+        let s = scenario();
+        let task = ClassificationTask::new("label", 7);
+        assert_eq!(task.utility(&s.din), task.utility(&s.din));
+    }
+
+    #[test]
+    fn missing_target_scores_zero() {
+        let s = scenario();
+        let task = ClassificationTask::new("nonexistent", 0);
+        assert_eq!(task.utility(&s.din), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fairness-aware classification (§VI-A.4 "Fair Classification").
+//!
+//! The task internally performs fairness-aware feature selection — any
+//! feature whose |correlation| with the sensitive attribute exceeds the
+//! threshold is discarded — then trains a forest and reports macro
+//! F-score. Augmentations that predict the target *through* the sensitive
+//! attribute therefore gain nothing.
+
+use metam_core::Task;
+use metam_ml::dataset::{encode_table, TargetKind};
+use metam_ml::forest::{RandomForest, RandomForestConfig};
+use metam_ml::metrics::f1_macro;
+use metam_ml::split::train_test_split;
+use metam_ml::tree::{TreeConfig, TreeTask};
+use metam_table::Table;
+
+use crate::util::drop_idlike_columns;
+
+/// Fair classification task.
+pub struct FairClassificationTask {
+    /// Target column name.
+    pub target: String,
+    /// Sensitive attribute column name.
+    pub sensitive: String,
+    /// |corr| threshold above which a feature is considered unfair.
+    pub corr_threshold: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl FairClassificationTask {
+    /// Default fairness task (threshold 0.4 as in our datagen trap).
+    pub fn new(
+        target: impl Into<String>,
+        sensitive: impl Into<String>,
+        seed: u64,
+    ) -> FairClassificationTask {
+        FairClassificationTask {
+            target: target.into(),
+            sensitive: sensitive.into(),
+            corr_threshold: 0.4,
+            seed,
+        }
+    }
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    if n < 3.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
+    if va < 1e-15 || vb < 1e-15 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+impl Task for FairClassificationTask {
+    fn name(&self) -> &str {
+        "fair-classification"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        let clean = drop_idlike_columns(table, &[self.target.as_str(), self.sensitive.as_str()]);
+        let Ok(data) = encode_table(&clean, &self.target, TargetKind::Classification) else {
+            return 0.0;
+        };
+        if data.len() < 20 || data.n_features() == 0 {
+            return 0.0;
+        }
+        let Some(sensitive_idx) =
+            data.feature_names.iter().position(|n| n == &self.sensitive)
+        else {
+            return 0.0;
+        };
+        let sensitive: Vec<f64> = data.features.iter().map(|r| r[sensitive_idx]).collect();
+
+        // Fairness-aware selection: keep fair features only (and drop the
+        // sensitive attribute itself from the model).
+        let keep: Vec<usize> = (0..data.n_features())
+            .filter(|&f| {
+                if f == sensitive_idx {
+                    return false;
+                }
+                let col: Vec<f64> = data.features.iter().map(|r| r[f]).collect();
+                pearson(&col, &sensitive).abs() <= self.corr_threshold
+            })
+            .collect();
+        if keep.is_empty() {
+            return 0.0;
+        }
+        let fair = data.select_features(&keep);
+        let n_classes = fair.n_classes.unwrap_or(2).max(2);
+        let (train, val) = train_test_split(&fair, 0.3, self.seed);
+        let forest = RandomForest::fit(
+            &train,
+            TreeTask::Classification { n_classes },
+            RandomForestConfig {
+                n_trees: 8,
+                tree: TreeConfig { max_depth: 6, ..Default::default() },
+                seed: self.seed,
+            },
+        );
+        f1_macro(&forest.predict_batch(&val.features), &val.targets, n_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::fairness::{build_fairness, FairnessConfig};
+    use metam_table::join::left_join_column;
+
+    fn join(s: &metam_datagen::Scenario, table: &str, col: &str, newname: &str) -> Table {
+        let t = s.tables.iter().find(|t| t.name == table).unwrap();
+        let c = left_join_column(&s.din, 0, t, 0, t.column_index(col).unwrap())
+            .unwrap()
+            .with_name(newname);
+        s.din.with_column(c).unwrap()
+    }
+
+    #[test]
+    fn unfair_augmentation_gains_nothing_fair_one_helps() {
+        let s = build_fairness(&FairnessConfig::default());
+        let task = FairClassificationTask::new("income_label", "age", 0);
+        let base = task.utility(&s.din);
+        let unfair = task.utility(&join(&s, "profile_00", "score_0", "aug0_score"));
+        let fair = task.utility(&join(&s, "employment_00", "tenure_0", "aug1_tenure"));
+        assert!(
+            fair > base + 0.03,
+            "fair useful feature must help: base={base} fair={fair}"
+        );
+        assert!(
+            unfair <= base + 0.03,
+            "unfair feature must be filtered: base={base} unfair={unfair}"
+        );
+    }
+
+    #[test]
+    fn missing_sensitive_column_scores_zero() {
+        let s = build_fairness(&FairnessConfig::default());
+        let task = FairClassificationTask::new("income_label", "nope", 0);
+        assert_eq!(task.utility(&s.din), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! How-to analysis task (§VI-A "How-to analysis").
+//!
+//! "What attributes should be updated to move the outcome?" — the task
+//! discovers causal drivers of the outcome among the available attributes
+//! and reports the fraction of the true drivers recovered.
+
+use metam_causal::causal_drivers;
+use metam_core::Task;
+use metam_table::Table;
+
+use crate::util::{aug_matches, numeric_columns};
+
+/// How-to task.
+pub struct HowToTask {
+    /// Outcome column (in `Din`).
+    pub outcome: String,
+    /// Ground-truth driver attribute base names.
+    pub drivers: Vec<String>,
+    /// Significance level.
+    pub alpha: f64,
+    /// Minimum standardized effect for an attribute to count as a driver.
+    pub effect_threshold: f64,
+}
+
+impl HowToTask {
+    /// Default how-to task.
+    pub fn new(outcome: impl Into<String>, drivers: Vec<String>) -> HowToTask {
+        HowToTask { outcome: outcome.into(), drivers, alpha: 0.05, effect_threshold: 0.05 }
+    }
+}
+
+impl Task for HowToTask {
+    fn name(&self) -> &str {
+        "how-to"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        if self.drivers.is_empty() {
+            return 0.0;
+        }
+        let (columns, names) = numeric_columns(table);
+        let Some(y_idx) = names.iter().position(|n| n == &self.outcome) else {
+            return 0.0;
+        };
+        let found = causal_drivers(&columns, y_idx, self.alpha, self.effect_threshold);
+        let recovered = self
+            .drivers
+            .iter()
+            .filter(|truth| found.iter().any(|&f| aug_matches(&names[f], truth)))
+            .count();
+        recovered as f64 / self.drivers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::causal_scenario::{build_causal, CausalConfig, CausalKind};
+    use metam_datagen::TaskSpec;
+    use metam_table::join::left_join_column;
+
+    #[test]
+    fn joining_true_driver_raises_utility() {
+        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
+        let TaskSpec::HowTo { outcome, drivers } = &s.spec else { panic!() };
+        let task = HowToTask::new(outcome.clone(), drivers.clone());
+        assert_eq!(task.utility(&s.din), 0.0);
+
+        let sh = s.tables.iter().find(|t| t.name == "study_hours_records").unwrap();
+        let col = left_join_column(&s.din, 0, sh, 0, sh.column_index("study_hours").unwrap())
+            .unwrap()
+            .with_name("aug0_study_hours");
+        let u = task.utility(&s.din.with_column(col).unwrap());
+        assert!(u > 0.0, "study_hours is a true driver: u={u}");
+    }
+
+    #[test]
+    fn noise_attribute_is_not_a_driver() {
+        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
+        let TaskSpec::HowTo { outcome, drivers } = &s.spec else { panic!() };
+        let task = HowToTask::new(outcome.clone(), drivers.clone());
+        let noise = s.tables.iter().find(|t| t.name.starts_with("survey_")).unwrap();
+        let vc = noise
+            .columns()
+            .iter()
+            .position(|c| c.name.as_deref().is_some_and(|n| n.starts_with("response")))
+            .unwrap();
+        let col = left_join_column(&s.din, 0, noise, 0, vc)
+            .unwrap()
+            .with_name("aug0_response");
+        assert_eq!(task.utility(&s.din.with_column(col).unwrap()), 0.0);
+    }
+}

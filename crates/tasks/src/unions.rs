@@ -1,0 +1,182 @@
+//! Union (record-addition) task (Fig. 4b).
+//!
+//! Augmentations are *markers*: the materialized column `augN_union_marker_c`
+//! tells the task to union record table `c` into the training data. The
+//! validation split always comes from the original `Din` rows, so good
+//! (in-distribution) batches raise accuracy while shifted batches drag it
+//! down.
+
+use metam_core::Task;
+use metam_ml::dataset::{encode_table, TargetKind};
+use metam_ml::forest::{RandomForest, RandomForestConfig};
+use metam_ml::metrics::f1_macro;
+use metam_ml::split::train_test_split;
+use metam_ml::tree::{TreeConfig, TreeTask};
+use metam_table::union::union_tables;
+use metam_table::Table;
+
+use crate::util::drop_idlike_columns;
+
+/// The unions task. Holds the record tables; marker columns select them.
+pub struct UnionTask {
+    /// Target column name.
+    pub target: String,
+    /// Union record tables, indexed by marker id.
+    pub union_tables: Vec<Table>,
+    /// Fixed held-out evaluation table (the paper's validation dataset).
+    /// Falls back to a seeded split of the input rows when absent.
+    pub eval_table: Option<Table>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl UnionTask {
+    /// New unions task.
+    pub fn new(target: impl Into<String>, union_tables: Vec<Table>, seed: u64) -> UnionTask {
+        UnionTask { target: target.into(), union_tables, eval_table: None, seed }
+    }
+
+    /// With a fixed evaluation table.
+    pub fn with_eval(mut self, eval: Option<Table>) -> UnionTask {
+        self.eval_table = eval;
+        self
+    }
+
+    /// Parse selected union ids from the marker columns present.
+    fn selected_unions(&self, table: &Table) -> Vec<usize> {
+        let mut ids = Vec::new();
+        for i in 0..table.ncols() {
+            let name = table.column_display_name(i);
+            // Matches `...union_marker_<c>` (materialized as
+            // `augN_union_marker_<c>`).
+            if let Some(pos) = name.find("union_marker_") {
+                if let Ok(c) = name[pos + "union_marker_".len()..].parse::<usize>() {
+                    if c < self.union_tables.len() && !ids.contains(&c) {
+                        ids.push(c);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl Task for UnionTask {
+    fn name(&self) -> &str {
+        "unions-classification"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        let selected = self.selected_unions(table);
+        // Strip marker columns and id-like columns; keep real features.
+        let feature_indices: Vec<usize> = (0..table.ncols())
+            .filter(|&i| !table.column_display_name(i).contains("union_marker_"))
+            .collect();
+        let Ok(base) = table.select(&feature_indices) else { return 0.0 };
+        let base = drop_idlike_columns(&base, &[self.target.as_str()]);
+
+        // Evaluation rows: the dedicated held-out table when available,
+        // otherwise a seeded split of the input rows.
+        let val = if let Some(eval) = &self.eval_table {
+            let cleaned = drop_idlike_columns(eval, &[self.target.as_str()]);
+            let Ok(data) = encode_table(&cleaned, &self.target, TargetKind::Classification)
+            else {
+                return 0.0;
+            };
+            data
+        } else {
+            let Ok(base_data) = encode_table(&base, &self.target, TargetKind::Classification)
+            else {
+                return 0.0;
+            };
+            if base_data.len() < 20 {
+                return 0.0;
+            }
+            train_test_split(&base_data, 0.3, self.seed).1
+        };
+
+        // Training table: original rows ∪ selected union tables.
+        let mut train_table = base.clone();
+        for &c in &selected {
+            let cleaned = drop_idlike_columns(&self.union_tables[c], &[self.target.as_str()]);
+            if let Ok(u) = union_tables(&train_table, &cleaned) {
+                train_table = u;
+            }
+        }
+        let Ok(train_data) = encode_table(&train_table, &self.target, TargetKind::Classification)
+        else {
+            return 0.0;
+        };
+        let n_classes = train_data.n_classes.unwrap_or(2).max(2);
+        let forest = RandomForest::fit(
+            &train_data,
+            TreeTask::Classification { n_classes },
+            RandomForestConfig {
+                n_trees: 8,
+                tree: TreeConfig { max_depth: 6, ..Default::default() },
+                seed: self.seed,
+            },
+        );
+        f1_macro(&forest.predict_batch(&val.features), &val.targets, n_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::unions::{build_unions, UnionsConfig};
+    use metam_datagen::TaskSpec;
+    use metam_table::Column;
+
+    fn with_marker(din: &Table, c: usize) -> Table {
+        din.with_column(Column::from_floats(
+            Some(format!("aug{c}_union_marker_{c}")),
+            vec![Some(1.0); din.nrows()],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn selected_unions_parses_marker_names() {
+        let s = build_unions(&UnionsConfig::default());
+        let TaskSpec::Unions { target } = &s.spec else { panic!() };
+        let task = UnionTask::new(target.clone(), s.union_tables.clone(), 0);
+        let t = with_marker(&with_marker(&s.din, 3), 0);
+        assert_eq!(task.selected_unions(&t), vec![0, 3]);
+        assert!(task.selected_unions(&s.din).is_empty());
+    }
+
+    #[test]
+    fn good_union_does_not_hurt_bad_union_does() {
+        let s = build_unions(&UnionsConfig { seed: 2, ..Default::default() });
+        let TaskSpec::Unions { target } = &s.spec else { panic!() };
+        let task = UnionTask::new(target.clone(), s.union_tables.clone(), 0)
+            .with_eval(s.eval_table.clone());
+        let base = task.utility(&s.din);
+        let good = task.utility(&with_marker(&s.din, 0)); // batch 0 is good
+        let bad = task.utility(&with_marker(&s.din, 15)); // batch 15 is corrupted
+        assert!(base > 0.5, "base classifier works: {base}");
+        assert!(good >= base - 0.03, "good batch must not hurt: base={base} good={good}");
+        assert!(bad < good, "corrupted batch must underperform: good={good} bad={bad}");
+        assert!(good > bad + 0.05, "separation must be clear: good={good} bad={bad}");
+    }
+
+    #[test]
+    fn good_batches_accumulate_gains() {
+        let s = build_unions(&UnionsConfig { seed: 5, ..Default::default() });
+        let TaskSpec::Unions { target } = &s.spec else { panic!() };
+        let task = UnionTask::new(target.clone(), s.union_tables.clone(), 0)
+            .with_eval(s.eval_table.clone());
+        let base = task.utility(&s.din);
+        let mut t = s.din.clone();
+        for c in 0..4 {
+            t = with_marker(&t, c);
+        }
+        let all_good = task.utility(&t);
+        assert!(
+            all_good > base + 0.02,
+            "4 good batches must lift a data-starved model: {base} → {all_good}"
+        );
+    }
+}

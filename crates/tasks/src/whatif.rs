@@ -1,0 +1,108 @@
+//! What-if analysis task (§VI-A "What-if analysis").
+//!
+//! "What attributes would be causally affected if X were updated?" — the
+//! task runs constraint-based discovery over the (augmented) table's
+//! numeric attributes and reports the fraction of the *truly* affected
+//! attributes it recovered (p ≤ 0.05), exactly the paper's utility.
+
+use metam_causal::affected_attributes;
+use metam_core::Task;
+use metam_table::Table;
+
+use crate::util::{aug_matches, numeric_columns};
+
+/// What-if task.
+pub struct WhatIfTask {
+    /// The attribute being hypothetically updated (a `Din` column).
+    pub intervened: String,
+    /// Ground-truth affected attribute base names.
+    pub affected: Vec<String>,
+    /// Significance level.
+    pub alpha: f64,
+}
+
+impl WhatIfTask {
+    /// Default what-if task at α = 0.05.
+    pub fn new(intervened: impl Into<String>, affected: Vec<String>) -> WhatIfTask {
+        WhatIfTask { intervened: intervened.into(), affected, alpha: 0.05 }
+    }
+}
+
+impl Task for WhatIfTask {
+    fn name(&self) -> &str {
+        "what-if"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        if self.affected.is_empty() {
+            return 0.0;
+        }
+        let (columns, names) = numeric_columns(table);
+        let Some(x_idx) = names.iter().position(|n| n == &self.intervened) else {
+            return 0.0;
+        };
+        let found = affected_attributes(&columns, x_idx, self.alpha);
+        let recovered = self
+            .affected
+            .iter()
+            .filter(|truth| {
+                found
+                    .iter()
+                    .any(|&f| aug_matches(&names[f], truth))
+            })
+            .count();
+        recovered as f64 / self.affected.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::causal_scenario::{build_causal, CausalConfig};
+    use metam_datagen::TaskSpec;
+    use metam_table::join::left_join_column;
+
+    #[test]
+    fn utility_rises_as_affected_attributes_join() {
+        let s = build_causal(&CausalConfig::default());
+        let TaskSpec::WhatIf { intervened, affected } = &s.spec else { panic!() };
+        let task = WhatIfTask::new(intervened.clone(), affected.clone());
+        let base = task.utility(&s.din);
+        assert_eq!(base, 0.0, "no affected attributes visible yet");
+
+        // Join writing_score (a true descendant).
+        let w = s.tables.iter().find(|t| t.name == "writing_score_records").unwrap();
+        let col = left_join_column(&s.din, 0, w, 0, w.column_index("writing_score").unwrap())
+            .unwrap()
+            .with_name("aug0_writing_score");
+        let t1 = s.din.with_column(col).unwrap();
+        let u1 = task.utility(&t1);
+        assert!(u1 > 0.0, "one of {} affected found: {u1}", affected.len());
+
+        // Join math_score too.
+        let m = s.tables.iter().find(|t| t.name == "math_score_records").unwrap();
+        let col2 = left_join_column(&t1, 0, m, 0, m.column_index("math_score").unwrap())
+            .unwrap()
+            .with_name("aug1_math_score");
+        let u2 = task.utility(&t1.with_column(col2).unwrap());
+        assert!(u2 > u1, "more affected attributes → higher recall: {u1} → {u2}");
+    }
+
+    #[test]
+    fn irrelevant_columns_do_not_count() {
+        let s = build_causal(&CausalConfig::default());
+        let TaskSpec::WhatIf { intervened, affected } = &s.spec else { panic!() };
+        let task = WhatIfTask::new(intervened.clone(), affected.clone());
+        let noise = s.tables.iter().find(|t| t.name.starts_with("survey_")).unwrap();
+        let vc = noise
+            .columns()
+            .iter()
+            .position(|c| c.name.as_deref().is_some_and(|n| n.starts_with("response")))
+            .unwrap();
+        let col = left_join_column(&s.din, 0, noise, 0, vc)
+            .unwrap()
+            .with_name("aug0_response_0");
+        let u = task.utility(&s.din.with_column(col).unwrap());
+        assert_eq!(u, 0.0);
+    }
+}

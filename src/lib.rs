@@ -1,0 +1,54 @@
+//! # metam
+//!
+//! A from-scratch Rust reproduction of **"Metam: Goal-Oriented Data
+//! Discovery"** (Galhotra, Gong, Castro Fernandez — ICDE 2023,
+//! arXiv:2304.09068).
+//!
+//! Metam closes the loop between *data discovery* and *data augmentation*:
+//! instead of discovering joinable tables and hoping they help, it
+//! repeatedly **queries the downstream task** with candidate augmentations
+//! and steers the search by what it observes — clustering candidates by
+//! task-independent data profiles (P2), wrapping the task for monotonicity
+//! (P3), and prioritizing small solutions via group testing (P1).
+//!
+//! This umbrella crate re-exports the whole workspace and provides the
+//! [`pipeline`] module that snaps the pieces together:
+//!
+//! ```
+//! use metam::pipeline::prepare;
+//! use metam::{Metam, MetamConfig};
+//!
+//! // A seeded synthetic scenario (housing-price classification).
+//! let scenario = metam::datagen::repo::price_classification(7);
+//! let prepared = prepare(scenario, 7);
+//! let result = Metam::new(MetamConfig {
+//!     theta: Some(0.8),
+//!     max_queries: 300,
+//!     ..Default::default()
+//! })
+//! .run(&prepared.inputs());
+//! assert!(result.utility >= result.base_utility);
+//! ```
+//!
+//! Crate map: [`table`] (columnar substrate) → [`discovery`] (join-path
+//! index) / [`ml`] (models) / [`causal`] (independence tests) →
+//! [`profile`] (data profiles) → [`core`] (the algorithm + baselines) →
+//! [`datagen`] (synthetic repositories) → [`tasks`] (downstream tasks).
+
+#![warn(missing_docs)]
+
+pub use metam_causal as causal;
+pub use metam_core as core;
+pub use metam_datagen as datagen;
+pub use metam_discovery as discovery;
+pub use metam_ml as ml;
+pub use metam_profile as profile;
+pub use metam_table as table;
+pub use metam_tasks as tasks;
+
+pub use metam_core::{
+    run_method, Metam, MetamConfig, MetamResult, Method, RunResult, StopReason, Task,
+};
+pub use metam_table::Table;
+
+pub mod pipeline;

@@ -1,0 +1,130 @@
+//! Empirical validation of the paper's §III properties P1–P3 on generated
+//! data — the reproduction of the paper's own validation experiments.
+
+use std::collections::BTreeSet;
+
+use metam::core::engine::QueryEngine;
+use metam::pipeline::prepare;
+use metam::profile::linf_distance;
+use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+
+fn scenario(seed: u64) -> metam::datagen::Scenario {
+    build_supervised(&SupervisedConfig {
+        seed,
+        n_rows: 300,
+        n_informative: 2,
+        n_duplicates: 2,
+        n_irrelevant_tables: 8,
+        n_erroneous_tables: 4,
+        ..Default::default()
+    })
+}
+
+/// P2: candidates with similar profile vectors have similar utility.
+/// The paper found ≥ 85 % of pairs with similarity ∈ [0.9, 1] differ in
+/// utility by < 0.02; we check the same statistic with a slightly looser
+/// bound (our utilities are forest F-scores with sampling noise).
+#[test]
+fn p2_similar_profiles_similar_utility() {
+    let prepared = prepare(scenario(11), 11);
+    let inputs = prepared.inputs();
+    let mut engine = QueryEngine::new(&inputs, usize::MAX);
+    let n = prepared.candidates.len().min(40);
+    let utilities: Vec<f64> = (0..n)
+        .map(|i| engine.utility_of(&BTreeSet::from([i])).unwrap())
+        .collect();
+
+    let mut close_pairs = 0usize;
+    let mut consistent = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = linf_distance(&prepared.profiles[i], &prepared.profiles[j]);
+            if d <= 0.1 {
+                close_pairs += 1;
+                if (utilities[i] - utilities[j]).abs() < 0.05 {
+                    consistent += 1;
+                }
+            }
+        }
+    }
+    assert!(close_pairs >= 10, "need enough close pairs to test P2: {close_pairs}");
+    let ratio = consistent as f64 / close_pairs as f64;
+    assert!(
+        ratio >= 0.75,
+        "P2 violated: only {ratio:.2} of {close_pairs} close pairs have similar utility"
+    );
+}
+
+/// P3: the monotonicity-certification wrapper never reports a drop.
+#[test]
+fn p3_certification_never_decreases() {
+    let prepared = prepare(scenario(12), 12);
+    let inputs = prepared.inputs();
+    let mut engine = QueryEngine::new(&inputs, usize::MAX);
+    let base: BTreeSet<usize> = BTreeSet::new();
+    let base_u = engine.utility_of(&base).unwrap();
+    let mut current = base;
+    let mut current_u = base_u;
+    for c in 0..prepared.candidates.len().min(25) {
+        let (effective, _raw, ignored) = engine.utility_extend(&current, c, true).unwrap();
+        assert!(
+            effective >= current_u - 1e-12,
+            "certified utility dropped: {current_u} → {effective}"
+        );
+        if !ignored && effective > current_u {
+            current.insert(c);
+            current_u = effective;
+        }
+    }
+}
+
+/// P1 empirical stats: most candidates are useless — fewer than 20 % of
+/// singleton augmentations improve the base utility meaningfully.
+#[test]
+fn p1_most_candidates_are_useless() {
+    let prepared = prepare(scenario(13), 13);
+    let inputs = prepared.inputs();
+    let mut engine = QueryEngine::new(&inputs, usize::MAX);
+    let base = engine.base_utility().unwrap();
+    let n = prepared.candidates.len();
+    let helpful = (0..n)
+        .filter(|&i| {
+            engine
+                .utility_of(&BTreeSet::from([i]))
+                .map(|u| u > base + 0.03)
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(
+        (helpful as f64) < 0.25 * n as f64,
+        "too many helpful candidates ({helpful}/{n}); P1 scenarios need sparse signal"
+    );
+    assert!(helpful > 0, "at least the planted signals must help");
+}
+
+/// Erroneous joins (permuted keys) must not look useful.
+#[test]
+fn erroneous_candidates_do_not_help() {
+    let prepared = prepare(scenario(14), 14);
+    let inputs = prepared.inputs();
+    let mut engine = QueryEngine::new(&inputs, usize::MAX);
+    let base = engine.base_utility().unwrap();
+    let erroneous: Vec<usize> = (0..prepared.candidates.len())
+        .filter(|&i| {
+            prepared
+                .scenario
+                .ground_truth
+                .erroneous_tables
+                .contains(&prepared.candidates[i].source_table)
+        })
+        .collect();
+    assert!(!erroneous.is_empty(), "scenario must contain erroneous candidates");
+    for &e in erroneous.iter().take(6) {
+        let u = engine.utility_of(&BTreeSet::from([e])).unwrap();
+        assert!(
+            u <= base + 0.06,
+            "erroneous candidate {} looks useful: {base} → {u}",
+            prepared.candidates[e].name
+        );
+    }
+}
