@@ -18,9 +18,11 @@ fn bench_clustering(c: &mut Criterion) {
     // ε sensitivity at fixed n.
     let fixture = scaled_fixture(10_000, 5, 24, 7);
     for &eps in &[0.03f64, 0.05, 0.07] {
-        group.bench_with_input(BenchmarkId::new("n_10000_eps", format!("{eps}")), &eps, |b, &eps| {
-            b.iter(|| cluster_partition(std::hint::black_box(&fixture.profiles), eps, 7))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("n_10000_eps", format!("{eps}")),
+            &eps,
+            |b, &eps| b.iter(|| cluster_partition(std::hint::black_box(&fixture.profiles), eps, 7)),
+        );
     }
     group.finish();
 }

@@ -28,8 +28,12 @@ fn bench_end_to_end(c: &mut Criterion) {
     let prepared = prepare(small_scenario(), 5);
     group.bench_function("metam_30_queries", |b| {
         b.iter(|| {
-            Metam::new(MetamConfig { max_queries: 30, seed: 5, ..Default::default() })
-                .run(&prepared.inputs())
+            Metam::new(MetamConfig {
+                max_queries: 30,
+                seed: 5,
+                ..Default::default()
+            })
+            .run(&prepared.inputs())
         })
     });
     group.bench_function("single_utility_query", |b| {

@@ -26,9 +26,14 @@ fn make_tables(n: usize) -> (Table, Vec<Arc<Table>>) {
             ),
             Column::from_strings(
                 Some("district".into()),
-                (0..n).map(|i| Some(format!("d{}", i % (n / 4).max(1)))).collect(),
+                (0..n)
+                    .map(|i| Some(format!("d{}", i % (n / 4).max(1))))
+                    .collect(),
             ),
-            Column::from_floats(Some("rate".into()), (0..n).map(|i| Some(i as f64)).collect()),
+            Column::from_floats(
+                Some("rate".into()),
+                (0..n).map(|i| Some(i as f64)).collect(),
+            ),
         ],
     )
     .expect("aligned");
@@ -39,7 +44,10 @@ fn make_tables(n: usize) -> (Table, Vec<Arc<Table>>) {
                 Some("id".into()),
                 (0..n).map(|i| Some(format!("d{i}"))).collect(),
             ),
-            Column::from_floats(Some("income".into()), (0..n).map(|i| Some(i as f64)).collect()),
+            Column::from_floats(
+                Some("income".into()),
+                (0..n).map(|i| Some(i as f64)).collect(),
+            ),
         ],
     )
     .expect("aligned");
@@ -52,7 +60,10 @@ fn bench_materialize(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         let (din, tables) = make_tables(n);
         let index = DiscoveryIndex::build(tables.clone());
-        let cfg = PathConfig { containment_threshold: 0.2, ..Default::default() };
+        let cfg = PathConfig {
+            containment_threshold: 0.2,
+            ..Default::default()
+        };
         let candidates = generate_candidates(&din, &index, &cfg, 100);
         let single = candidates
             .iter()

@@ -21,7 +21,10 @@ fn bench_single_profiles(c: &mut Criterion) {
     let prepared = prepare_with(
         scenario(),
         default_profiles(),
-        PrepareOptions { seed: 0, ..Default::default() },
+        PrepareOptions {
+            seed: 0,
+            ..Default::default()
+        },
     );
     let cand = &prepared.candidates[0];
     let aug = prepared
@@ -40,14 +43,28 @@ fn bench_single_profiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("profile_single");
     group.sample_size(30);
     let profiles: Vec<(&str, Box<dyn Profile>)> = vec![
-        ("correlation", Box::new(metam::profile::correlation::CorrelationProfile)),
-        ("mutual_info", Box::new(metam::profile::mutual_info::MutualInfoProfile::default())),
-        ("embedding", Box::new(metam::profile::embedding::EmbeddingProfile)),
-        ("metadata", Box::new(metam::profile::metadata::MetadataProfile)),
+        (
+            "correlation",
+            Box::new(metam::profile::correlation::CorrelationProfile),
+        ),
+        (
+            "mutual_info",
+            Box::new(metam::profile::mutual_info::MutualInfoProfile::default()),
+        ),
+        (
+            "embedding",
+            Box::new(metam::profile::embedding::EmbeddingProfile),
+        ),
+        (
+            "metadata",
+            Box::new(metam::profile::metadata::MetadataProfile),
+        ),
         ("overlap", Box::new(metam::profile::overlap::OverlapProfile)),
     ];
     for (name, profile) in &profiles {
-        group.bench_function(*name, |b| b.iter(|| std::hint::black_box(profile.compute(&ctx))));
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(profile.compute(&ctx)))
+        });
     }
     group.finish();
 }
@@ -60,7 +77,10 @@ fn bench_profile_sweep(c: &mut Criterion) {
             prepare_with(
                 scenario(),
                 default_profiles(),
-                PrepareOptions { seed: 0, ..Default::default() },
+                PrepareOptions {
+                    seed: 0,
+                    ..Default::default()
+                },
             )
         })
     });

@@ -25,9 +25,7 @@ fn bench_quality(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("best_candidate", n), &n, |b, _| {
             let model = QualityModel::new(n, 5, true);
-            b.iter(|| {
-                std::hint::black_box(model.best_candidate(0..n, &fixture.profiles))
-            })
+            b.iter(|| std::hint::black_box(model.best_candidate(0..n, &fixture.profiles)))
         });
     }
     group.finish();

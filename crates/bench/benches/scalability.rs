@@ -3,7 +3,7 @@
 //! the "scales linearly, Metam ≤ MW" claims at criterion precision.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use metam::{run_method, Method, MetamConfig};
+use metam::{run_method, MetamConfig, Method};
 use metam_bench::synthetic::scaled_fixture;
 
 fn bench_candidates(c: &mut Criterion) {
@@ -14,7 +14,10 @@ fn bench_candidates(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("metam", n), &n, |b, _| {
             b.iter(|| {
                 run_method(
-                    &Method::Metam(MetamConfig { seed: 3, ..Default::default() }),
+                    &Method::Metam(MetamConfig {
+                        seed: 3,
+                        ..Default::default()
+                    }),
                     &fixture.inputs(),
                     None,
                     100,
@@ -36,7 +39,10 @@ fn bench_profiles_dim(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("metam", l), &l, |b, _| {
             b.iter(|| {
                 run_method(
-                    &Method::Metam(MetamConfig { seed: 3, ..Default::default() }),
+                    &Method::Metam(MetamConfig {
+                        seed: 3,
+                        ..Default::default()
+                    }),
                     &fixture.inputs(),
                     None,
                     100,

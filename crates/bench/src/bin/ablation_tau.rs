@@ -18,7 +18,11 @@ fn main() {
     // Discover |C| once so τ = |C|/2 is meaningful.
     let clustering = metam::core::cluster::cluster_partition(&prepared.profiles, 0.05, args.seed);
     let n_clusters = clustering.len().max(2);
-    eprintln!("[tau] {} candidates in {} clusters", prepared.candidates.len(), n_clusters);
+    eprintln!(
+        "[tau] {} candidates in {} clusters",
+        prepared.candidates.len(),
+        n_clusters
+    );
 
     let mut table = TableReport::new(
         "ablation_tau",

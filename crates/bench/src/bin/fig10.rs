@@ -10,7 +10,7 @@ use metam::profile::mutual_info::MutualInfoProfile;
 use metam::profile::overlap::OverlapProfile;
 use metam::profile::synthetic::FixedProfile;
 use metam::profile::ProfileSet;
-use metam::{Method, MetamConfig};
+use metam::{MetamConfig, Method};
 use metam_bench::{query_grid, run_methods, save_json, Args, Panel};
 
 /// Build a profile set with `informative ∈ {3, 5}` real profiles and
@@ -62,11 +62,17 @@ fn main() {
             let prepared = prepare_with(
                 scenario.clone(),
                 profile_set(i, ui, args.seed),
-                PrepareOptions { seed: args.seed, ..Default::default() },
+                PrepareOptions {
+                    seed: args.seed,
+                    ..Default::default()
+                },
             );
             let mut series = run_methods(
                 &prepared,
-                &[Method::Metam(MetamConfig { seed: args.seed, ..Default::default() })],
+                &[Method::Metam(MetamConfig {
+                    seed: args.seed,
+                    ..Default::default()
+                })],
                 None,
                 budget,
                 &grid,

@@ -3,7 +3,7 @@
 //! sampling) and NcEq (neither).
 
 use metam::pipeline::prepare;
-use metam::{Method, MetamConfig};
+use metam::{MetamConfig, Method};
 use metam_bench::{query_grid, run_methods, save_json, Args, Panel};
 
 fn main() {

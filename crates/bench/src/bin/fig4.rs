@@ -13,7 +13,9 @@ fn main() {
     {
         let mut scenario = metam::datagen::repo::schools_classification(args.seed);
         if let TaskSpec::Classification { target } = &scenario.spec {
-            scenario.spec = TaskSpec::AutoMlClassification { target: target.clone() };
+            scenario.spec = TaskSpec::AutoMlClassification {
+                target: target.clone(),
+            };
         }
         let prepared = metam::pipeline::prepare(scenario, args.seed);
         eprintln!("[fig4a] {} candidates", prepared.candidates.len());
@@ -29,10 +31,11 @@ fn main() {
 
     // (b) Unions: record-addition augmentations for NYC rent.
     {
-        let scenario = metam::datagen::unions::build_unions(&metam::datagen::unions::UnionsConfig {
-            seed: args.seed,
-            ..Default::default()
-        });
+        let scenario =
+            metam::datagen::unions::build_unions(&metam::datagen::unions::UnionsConfig {
+                seed: args.seed,
+                ..Default::default()
+            });
         let prepared = metam::pipeline::prepare(scenario, args.seed);
         eprintln!("[fig4b] {} union candidates", prepared.candidates.len());
         let budget = 200 / scale.min(4);

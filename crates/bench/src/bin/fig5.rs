@@ -22,7 +22,10 @@ fn averaged_panel(
         let scenario = build(inst);
         let prepared = metam::pipeline::prepare(scenario, seed ^ inst);
         let methods = [
-            Method::Metam(metam::MetamConfig { seed: seed ^ inst, ..Default::default() }),
+            Method::Metam(metam::MetamConfig {
+                seed: seed ^ inst,
+                ..Default::default()
+            }),
             Method::Mw { seed: seed ^ inst },
             Method::Overlap,
             Method::Uniform { seed: seed ^ inst },

@@ -6,7 +6,7 @@
 //! scoring, clustering, ranking), so the task is a cheap synthetic one;
 //! see DESIGN.md's experiment index.
 
-use metam::{Method, MetamConfig};
+use metam::{MetamConfig, Method};
 use metam_bench::synthetic::{scaled_fixture, time_method};
 use metam_bench::{save_json, Args, Panel, Series};
 
@@ -18,11 +18,20 @@ fn main() {
     } else {
         vec![200_000, 400_000, 600_000, 800_000, 1_000_000]
     };
-    let profile_grid: Vec<usize> =
-        if args.quick { vec![10, 20, 40] } else { vec![20, 40, 60, 80, 100] };
+    let profile_grid: Vec<usize> = if args.quick {
+        vec![10, 20, 40]
+    } else {
+        vec![20, 40, 60, 80, 100]
+    };
 
     let methods: Vec<(&str, Method)> = vec![
-        ("Metam", Method::Metam(MetamConfig { seed: args.seed, ..Default::default() })),
+        (
+            "Metam",
+            Method::Metam(MetamConfig {
+                seed: args.seed,
+                ..Default::default()
+            }),
+        ),
         ("MW", Method::Mw { seed: args.seed }),
         ("Overlap", Method::Overlap),
         ("Uniform", Method::Uniform { seed: args.seed }),
@@ -40,14 +49,19 @@ fn main() {
             eprintln!("[fig6a] {label} n={n}: {secs:.2}s");
             points.push((n, secs));
         }
-        panel_a.series.push(Series { label: label.to_string(), points });
+        panel_a.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
     }
     panel_a.print();
 
     // (b) time vs #profiles at a fixed candidate count.
     let n_fixed = if args.quick { 20_000 } else { 100_000 };
-    let mut panel_b =
-        Panel::new("fig6b", format!("(b) runtime vs #profiles ({n_fixed} candidates)"));
+    let mut panel_b = Panel::new(
+        "fig6b",
+        format!("(b) runtime vs #profiles ({n_fixed} candidates)"),
+    );
     panel_b.x_label = "profiles".into();
     panel_b.y_label = "seconds".into();
     for (label, method) in &methods {
@@ -58,7 +72,10 @@ fn main() {
             eprintln!("[fig6b] {label} l={l}: {secs:.2}s");
             points.push((l, secs));
         }
-        panel_b.series.push(Series { label: label.to_string(), points });
+        panel_b.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
     }
     panel_b.print();
 

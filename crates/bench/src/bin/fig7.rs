@@ -6,12 +6,15 @@
 use metam::pipeline::{prepare, prepare_with, PrepareOptions};
 use metam::profile::task_specific::TaskSpecificProfile;
 use metam::profile::{default_profiles, ProfileSet};
-use metam::{Method, MetamConfig};
+use metam::{MetamConfig, Method};
 use metam_bench::{query_grid, run_methods, save_json, Args, Panel, Series};
 
 fn arda_profiles(classification: bool, seed: u64) -> ProfileSet {
     let mut set = default_profiles();
-    set.push(Box::new(TaskSpecificProfile { classification, seed }));
+    set.push(Box::new(TaskSpecificProfile {
+        classification,
+        seed,
+    }));
     set
 }
 
@@ -43,11 +46,17 @@ fn main() {
         let prepared_arda = prepare_with(
             scenario.clone(),
             arda_profiles(classification, args.seed),
-            PrepareOptions { seed: args.seed, ..Default::default() },
+            PrepareOptions {
+                seed: args.seed,
+                ..Default::default()
+            },
         );
         eprintln!("[{id}] {} candidates", prepared_arda.candidates.len());
         let methods = [
-            Method::Metam(MetamConfig { seed: args.seed, ..Default::default() }),
+            Method::Metam(MetamConfig {
+                seed: args.seed,
+                ..Default::default()
+            }),
             Method::Mw { seed: args.seed },
             Method::Overlap,
             Method::Uniform { seed: args.seed },
@@ -60,14 +69,21 @@ fn main() {
         let prepared_generic = prepare(scenario, args.seed);
         let generic = run_methods(
             &prepared_generic,
-            &[Method::Metam(MetamConfig { seed: args.seed, ..Default::default() })],
+            &[Method::Metam(MetamConfig {
+                seed: args.seed,
+                ..Default::default()
+            })],
             None,
             budget,
             &grid,
         );
         series.push(Series {
             label: "Metam(generic)".to_string(),
-            points: generic.into_iter().next().map(|s| s.points).unwrap_or_default(),
+            points: generic
+                .into_iter()
+                .next()
+                .map(|s| s.points)
+                .unwrap_or_default(),
         });
 
         let mut panel = Panel::new(id, title);

@@ -27,7 +27,9 @@ fn queries_to_ground_truth(scenario: metam::datagen::Scenario, seed: u64, budget
     let inputs = prepared.inputs();
     let mut probe = QueryEngine::new(&inputs, usize::MAX);
     let base = probe.base_utility().expect("unbounded budget");
-    let gt_u = probe.utility_of(&BTreeSet::from([gt])).expect("unbounded budget");
+    let gt_u = probe
+        .utility_of(&BTreeSet::from([gt]))
+        .expect("unbounded budget");
     let theta = base + 0.7 * (gt_u - base);
 
     // Relaxed mode (τ = 1, no minimality pass): accept the first improving
@@ -55,8 +57,11 @@ fn main() {
     // Distractor *candidate* counts (each distractor table yields ~3
     // candidates; the paper sweeps up to 100K — we sweep a laptop-scale
     // version with the same shape).
-    let counts: Vec<usize> =
-        if args.quick { vec![0, 60, 300] } else { vec![0, 300, 900, 1800] };
+    let counts: Vec<usize> = if args.quick {
+        vec![0, 60, 300]
+    } else {
+        vec![0, 300, 900, 1800]
+    };
 
     let base_cfg = SupervisedConfig {
         seed: args.seed,
@@ -86,7 +91,10 @@ fn main() {
         eprintln!("[fig8a] irrelevant={count}: {q} queries");
         points.push((count, q as f64));
     }
-    panel_a.series.push(Series { label: "Metam".into(), points });
+    panel_a.series.push(Series {
+        label: "Metam".into(),
+        points,
+    });
     panel_a.print();
 
     // (b) fixed irrelevant, varying erroneous.
@@ -105,7 +113,10 @@ fn main() {
         eprintln!("[fig8b] erroneous={count}: {q} queries");
         points.push((count, q as f64));
     }
-    panel_b.series.push(Series { label: "Metam".into(), points });
+    panel_b.series.push(Series {
+        label: "Metam".into(),
+        points,
+    });
     panel_b.print();
 
     save_json(&args.out, "fig8", &vec![panel_a, panel_b]);

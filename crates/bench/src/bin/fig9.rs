@@ -5,7 +5,7 @@
 use metam::pipeline::{prepare_with, PrepareOptions};
 use metam::profile::synthetic::FixedProfile;
 use metam::profile::{default_profiles, ProfileSet};
-use metam::{Method, MetamConfig};
+use metam::{MetamConfig, Method};
 use metam_bench::{query_grid, run_methods, save_json, Args, Panel};
 
 fn profiles_with_noise(n_uninformative: usize, n_candidates_hint: usize, seed: u64) -> ProfileSet {
@@ -48,11 +48,17 @@ fn main() {
             let prepared = prepare_with(
                 scenario.clone(),
                 profiles_with_noise(ui, 100_000, args.seed),
-                PrepareOptions { seed: args.seed, ..Default::default() },
+                PrepareOptions {
+                    seed: args.seed,
+                    ..Default::default()
+                },
             );
             let mut series = run_methods(
                 &prepared,
-                &[Method::Metam(MetamConfig { seed: args.seed, ..Default::default() })],
+                &[Method::Metam(MetamConfig {
+                    seed: args.seed,
+                    ..Default::default()
+                })],
                 None,
                 budget,
                 &grid,

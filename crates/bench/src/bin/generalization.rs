@@ -2,7 +2,7 @@
 //! classification and clustering. Reports queries-to-target per method —
 //! the paper's "Metam in 4 queries, MW in 10, others > 40" style numbers.
 
-use metam::{run_method, Method, MetamConfig};
+use metam::{run_method, MetamConfig, Method};
 use metam_bench::{save_json, Args, TableReport};
 
 fn row_for(
@@ -12,7 +12,10 @@ fn row_for(
     seed: u64,
 ) -> Vec<String> {
     let methods = [
-        Method::Metam(MetamConfig { seed, ..Default::default() }),
+        Method::Metam(MetamConfig {
+            seed,
+            ..Default::default()
+        }),
         Method::Mw { seed },
         Method::Overlap,
         Method::Uniform { seed },
@@ -42,11 +45,16 @@ fn main() {
 
     // Entity linking: 1 useful column among dozens of joinable distractors.
     {
-        let scenario = metam::datagen::linking::build_linking(
-            &metam::datagen::linking::LinkingConfig { seed: args.seed, ..Default::default() },
-        );
+        let scenario =
+            metam::datagen::linking::build_linking(&metam::datagen::linking::LinkingConfig {
+                seed: args.seed,
+                ..Default::default()
+            });
         let prepared = metam::pipeline::prepare(scenario, args.seed);
-        eprintln!("[gen] entity linking: {} candidates", prepared.candidates.len());
+        eprintln!(
+            "[gen] entity linking: {} candidates",
+            prepared.candidates.len()
+        );
         let mut row = vec!["Entity linking (θ=0.95)".to_string()];
         row.extend(row_for(&prepared, 0.95, budget, args.seed));
         table.push_row(row);
@@ -54,9 +62,11 @@ fn main() {
 
     // Fair classification: unfair features are filtered by the task.
     {
-        let scenario = metam::datagen::fairness::build_fairness(
-            &metam::datagen::fairness::FairnessConfig { seed: args.seed, ..Default::default() },
-        );
+        let scenario =
+            metam::datagen::fairness::build_fairness(&metam::datagen::fairness::FairnessConfig {
+                seed: args.seed,
+                ..Default::default()
+            });
         let prepared = metam::pipeline::prepare(scenario, args.seed);
         eprintln!("[gen] fairness: {} candidates", prepared.candidates.len());
         // Target: a solid lift over the fair baseline.
@@ -74,7 +84,10 @@ fn main() {
     // Clustering: 8 candidates, one useful (ONI).
     {
         let scenario = metam::datagen::clustering::build_clustering(
-            &metam::datagen::clustering::ClusteringConfig { seed: args.seed, ..Default::default() },
+            &metam::datagen::clustering::ClusteringConfig {
+                seed: args.seed,
+                ..Default::default()
+            },
         );
         let prepared = metam::pipeline::prepare(scenario, args.seed);
         eprintln!("[gen] clustering: {} candidates", prepared.candidates.len());

@@ -17,7 +17,13 @@ fn main() {
     let mut table = TableReport::new(
         "table1",
         "Characteristics of datasets (scaled synthetic repositories)",
-        vec!["Dataset", "#Tables", "#Columns", "#Joinable Columns", "Size"],
+        vec![
+            "Dataset",
+            "#Tables",
+            "#Columns",
+            "#Joinable Columns",
+            "Size",
+        ],
     );
 
     for (name, n, seed_off) in [("Open-Data", n_open, 0u64), ("Kaggle", n_kaggle, 1)] {

@@ -20,7 +20,10 @@ fn main() {
         let prepared = metam::pipeline::prepare(scenario, args.seed);
         eprintln!("[table2] {name}: {} candidates", prepared.candidates.len());
         let methods = [
-            Method::Metam(metam::MetamConfig { seed: args.seed, ..Default::default() }),
+            Method::Metam(metam::MetamConfig {
+                seed: args.seed,
+                ..Default::default()
+            }),
             Method::Mw { seed: args.seed },
             Method::Overlap,
             Method::Uniform { seed: args.seed },

@@ -32,7 +32,11 @@ pub struct Args {
 impl Args {
     /// Parse from `std::env::args`. Unknown flags abort with usage.
     pub fn parse() -> Args {
-        let mut args = Args { seed: 42, quick: false, out: PathBuf::from("results") };
+        let mut args = Args {
+            seed: 42,
+            quick: false,
+            out: PathBuf::from("results"),
+        };
         let mut iter = std::env::args().skip(1);
         while let Some(flag) = iter.next() {
             match flag.as_str() {
@@ -44,7 +48,8 @@ impl Args {
                 }
                 "--quick" => args.quick = true,
                 "--out" => {
-                    args.out = PathBuf::from(iter.next().unwrap_or_else(|| usage("--out needs a path")));
+                    args.out =
+                        PathBuf::from(iter.next().unwrap_or_else(|| usage("--out needs a path")));
                 }
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -231,7 +236,10 @@ pub fn run_methods(
         .iter()
         .map(|m| {
             let r = run_method(m, &prepared.inputs(), theta, budget);
-            Series { label: r.method.clone(), points: resample(&r.trace, grid) }
+            Series {
+                label: r.method.clone(),
+                points: resample(&r.trace, grid),
+            }
         })
         .collect()
 }
@@ -267,13 +275,19 @@ pub fn inputs_with_task<'a>(
 /// as in the paper).
 pub fn standard_methods(seed: u64, with_iarda: Option<bool>) -> Vec<Method> {
     let mut methods = vec![
-        Method::Metam(metam::MetamConfig { seed, ..Default::default() }),
+        Method::Metam(metam::MetamConfig {
+            seed,
+            ..Default::default()
+        }),
         Method::Mw { seed },
         Method::Overlap,
         Method::Uniform { seed },
     ];
     if let Some(classification) = with_iarda {
-        methods.push(Method::IArda { classification, seed });
+        methods.push(Method::IArda {
+            classification,
+            seed,
+        });
     }
     methods
 }

@@ -80,7 +80,10 @@ pub fn scaled_fixture(
                 Some("key".into()),
                 (0..rows).map(|i| Some(format!("k{i}"))).collect(),
             ),
-            Column::from_floats(Some("v".into()), (0..rows).map(|i| Some(i as f64)).collect()),
+            Column::from_floats(
+                Some("v".into()),
+                (0..rows).map(|i| Some(i as f64)).collect(),
+            ),
         ],
     )
     .expect("aligned");
@@ -128,11 +131,7 @@ pub fn scaled_fixture(
 }
 
 /// Run one method for a fixed query budget and return wall-clock seconds.
-pub fn time_method(
-    fixture: &ScaledFixture,
-    method: &metam::Method,
-    budget: usize,
-) -> f64 {
+pub fn time_method(fixture: &ScaledFixture, method: &metam::Method, budget: usize) -> f64 {
     let start = std::time::Instant::now();
     let r = metam::run_method(method, &fixture.inputs(), None, budget);
     let elapsed = start.elapsed().as_secs_f64();
@@ -170,6 +169,10 @@ mod tests {
     fn blobby_profiles_cluster_small() {
         let f = scaled_fixture(5000, 5, 12, 2);
         let clustering = metam::core::cluster::cluster_partition(&f.profiles, 0.05, 0);
-        assert!(clustering.len() <= 24, "expected ~12 blobs, got {}", clustering.len());
+        assert!(
+            clustering.len() <= 24,
+            "expected ~12 blobs, got {}",
+            clustering.len()
+        );
     }
 }

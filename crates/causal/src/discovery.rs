@@ -136,7 +136,10 @@ mod tests {
         let s = pc_skeleton(&[x0, x1, x2], 0.05, 2);
         assert!(s.connected(0, 1));
         assert!(s.connected(1, 2));
-        assert!(!s.connected(0, 2), "indirect link must be cut by conditioning");
+        assert!(
+            !s.connected(0, 2),
+            "indirect link must be cut by conditioning"
+        );
     }
 
     #[test]

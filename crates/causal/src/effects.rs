@@ -20,7 +20,9 @@ pub fn standardized_effects(columns: &[Vec<f64>], outcome: &[f64]) -> Vec<f64> {
         return vec![0.0; columns.len()];
     }
     let n = outcome.len();
-    let rows: Vec<Vec<f64>> = (0..n).map(|r| columns.iter().map(|c| c[r]).collect()).collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|r| columns.iter().map(|c| c[r]).collect())
+        .collect();
     let model = RidgeRegression::fit(&rows, outcome, 1e-3);
     let sd_y = variance(outcome).sqrt().max(1e-12);
     model
@@ -34,7 +36,9 @@ pub fn standardized_effects(columns: &[Vec<f64>], outcome: &[f64]) -> Vec<f64> {
 /// `threshold`, sorted by effect size descending (ties by index).
 pub fn strong_effects(columns: &[Vec<f64>], outcome: &[f64], threshold: f64) -> Vec<usize> {
     let effects = standardized_effects(columns, outcome);
-    let mut idx: Vec<usize> = (0..effects.len()).filter(|&i| effects[i] > threshold).collect();
+    let mut idx: Vec<usize> = (0..effects.len())
+        .filter(|&i| effects[i] > threshold)
+        .collect();
     idx.sort_by(|&a, &b| {
         effects[b]
             .partial_cmp(&effects[a])
@@ -61,7 +65,11 @@ mod tests {
         let cause = noise(1, n);
         let junk = noise(2, n);
         let e = noise(3, n);
-        let y: Vec<f64> = cause.iter().zip(&e).map(|(c, e)| 2.0 * c + 0.1 * e).collect();
+        let y: Vec<f64> = cause
+            .iter()
+            .zip(&e)
+            .map(|(c, e)| 2.0 * c + 0.1 * e)
+            .collect();
         let effects = standardized_effects(&[cause, junk], &y);
         assert!(effects[0] > 3.0 * effects[1], "effects={effects:?}");
     }
@@ -76,7 +84,11 @@ mod tests {
             .map(|i| 3.0 * strong[i] + 0.5 * weak[i] + 0.1 * e[i])
             .collect();
         let ranked = strong_effects(&[weak.clone(), strong.clone()], &y, 0.05);
-        assert_eq!(ranked.first(), Some(&1), "strongest cause first: {ranked:?}");
+        assert_eq!(
+            ranked.first(),
+            Some(&1),
+            "strongest cause first: {ranked:?}"
+        );
     }
 
     #[test]

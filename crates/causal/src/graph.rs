@@ -16,7 +16,11 @@ pub struct Dag {
 impl Dag {
     /// Empty DAG over `n` nodes.
     pub fn new(n: usize) -> Self {
-        Dag { n, children: vec![Vec::new(); n], parents: vec![Vec::new(); n] }
+        Dag {
+            n,
+            children: vec![Vec::new(); n],
+            parents: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -116,8 +120,7 @@ impl Dag {
     /// first).
     pub fn topological_order(&self) -> Vec<usize> {
         let mut indegree: Vec<usize> = self.parents.iter().map(Vec::len).collect();
-        let mut ready: Vec<usize> =
-            (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(&u) = ready.first() {
             ready.remove(0);

@@ -69,13 +69,19 @@ pub fn fisher_z_test(x: &[f64], y: &[f64], z: &[&[f64]]) -> IndependenceTest {
     let r = partial_correlation(x, y, z);
     let dof = n as f64 - z.len() as f64 - 3.0;
     if dof <= 0.0 {
-        return IndependenceTest { correlation: r, p_value: 1.0 };
+        return IndependenceTest {
+            correlation: r,
+            p_value: 1.0,
+        };
     }
     // Clamp away from ±1 so atanh stays finite.
     let r_safe = r.clamp(-0.999999, 0.999999);
     let stat = dof.sqrt() * 0.5 * ((1.0 + r_safe) / (1.0 - r_safe)).ln();
     let p = 2.0 * (1.0 - normal_cdf(stat.abs()));
-    IndependenceTest { correlation: r, p_value: p.clamp(0.0, 1.0) }
+    IndependenceTest {
+        correlation: r,
+        p_value: p.clamp(0.0, 1.0),
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +98,11 @@ mod tests {
     #[test]
     fn detects_marginal_dependence() {
         let x = noise(1, 200);
-        let y: Vec<f64> = x.iter().zip(noise(2, 200)).map(|(a, e)| a + 0.2 * e).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .zip(noise(2, 200))
+            .map(|(a, e)| a + 0.2 * e)
+            .collect();
         let t = fisher_z_test(&x, &y, &[]);
         assert!(t.dependent(0.05), "p={}", t.p_value);
     }

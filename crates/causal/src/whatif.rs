@@ -43,12 +43,7 @@ pub fn affected_attributes(columns: &[Vec<f64>], x: usize, alpha: f64) -> Vec<us
 /// Attributes judged to causally drive the outcome column `y`:
 /// skeleton-neighbours of `y` with standardized effect above `threshold`,
 /// strongest first.
-pub fn causal_drivers(
-    columns: &[Vec<f64>],
-    y: usize,
-    alpha: f64,
-    threshold: f64,
-) -> Vec<usize> {
+pub fn causal_drivers(columns: &[Vec<f64>], y: usize, alpha: f64, threshold: f64) -> Vec<usize> {
     let k = columns.len();
     if k == 0 || y >= k {
         return Vec::new();
@@ -58,8 +53,7 @@ pub fn causal_drivers(
     if neighbours.is_empty() {
         return Vec::new();
     }
-    let candidate_cols: Vec<Vec<f64>> =
-        neighbours.iter().map(|&i| columns[i].clone()).collect();
+    let candidate_cols: Vec<Vec<f64>> = neighbours.iter().map(|&i| columns[i].clone()).collect();
     let effects = standardized_effects(&candidate_cols, &columns[y]);
     let mut ranked: Vec<(usize, f64)> = neighbours
         .iter()
@@ -90,8 +84,16 @@ mod tests {
     fn chain_data() -> Vec<Vec<f64>> {
         let n = 400;
         let x0 = noise(1, n);
-        let x1: Vec<f64> = x0.iter().zip(noise(2, n)).map(|(a, e)| a + 0.3 * e).collect();
-        let x2: Vec<f64> = x1.iter().zip(noise(3, n)).map(|(a, e)| a + 0.3 * e).collect();
+        let x1: Vec<f64> = x0
+            .iter()
+            .zip(noise(2, n))
+            .map(|(a, e)| a + 0.3 * e)
+            .collect();
+        let x2: Vec<f64> = x1
+            .iter()
+            .zip(noise(3, n))
+            .map(|(a, e)| a + 0.3 * e)
+            .collect();
         let x3 = noise(4, n);
         vec![x0, x1, x2, x3]
     }
@@ -102,14 +104,20 @@ mod tests {
         let affected = affected_attributes(&cols, 0, 0.05);
         assert!(affected.contains(&1));
         assert!(affected.contains(&2));
-        assert!(!affected.contains(&3), "independent attribute must not appear");
+        assert!(
+            !affected.contains(&3),
+            "independent attribute must not appear"
+        );
     }
 
     #[test]
     fn howto_finds_direct_driver() {
         let cols = chain_data();
         let drivers = causal_drivers(&cols, 2, 0.05, 0.01);
-        assert!(drivers.contains(&1), "direct parent is a driver: {drivers:?}");
+        assert!(
+            drivers.contains(&1),
+            "direct parent is a driver: {drivers:?}"
+        );
         assert!(!drivers.contains(&3));
     }
 

@@ -17,7 +17,9 @@ pub struct ThompsonSampler {
 impl ThompsonSampler {
     /// `n_arms` arms with uniform Beta(1,1) priors.
     pub fn new(n_arms: usize) -> ThompsonSampler {
-        ThompsonSampler { arms: vec![(1.0, 1.0); n_arms] }
+        ThompsonSampler {
+            arms: vec![(1.0, 1.0); n_arms],
+        }
     }
 
     /// Number of arms.

@@ -41,7 +41,11 @@ pub fn arda_ranking(inputs: &SearchInputs<'_>, classification: bool, seed: u64) 
 
     let rows = sample_indices(inputs.din.nrows(), SCORE_ROWS, seed);
     let target_name = inputs.din.column_display_name(target);
-    let kind = if classification { TargetKind::Classification } else { TargetKind::Regression };
+    let kind = if classification {
+        TargetKind::Classification
+    } else {
+        TargetKind::Regression
+    };
 
     let mut scores = vec![0.0f64; n];
     let mut batch_start = 0;
@@ -51,7 +55,10 @@ pub fn arda_ranking(inputs: &SearchInputs<'_>, classification: bool, seed: u64) 
         let mut table = inputs.din.take_rows(&rows);
         let mut members: Vec<usize> = Vec::new();
         for c in batch_start..batch_end {
-            if let Ok(col) = inputs.materializer.materialize(inputs.din, &inputs.candidates[c]) {
+            if let Ok(col) = inputs
+                .materializer
+                .materialize(inputs.din, &inputs.candidates[c])
+            {
                 if table.add_column(col.take(&rows)).is_ok() {
                     members.push(c);
                 }
@@ -60,7 +67,9 @@ pub fn arda_ranking(inputs: &SearchInputs<'_>, classification: bool, seed: u64) 
         if let Ok(data) = encode_table(&table, &target_name, kind) {
             if data.len() >= 10 {
                 let task = if classification {
-                    TreeTask::Classification { n_classes: data.n_classes.unwrap_or(2).max(2) }
+                    TreeTask::Classification {
+                        n_classes: data.n_classes.unwrap_or(2).max(2),
+                    }
                 } else {
                     TreeTask::Regression
                 };
@@ -108,7 +117,10 @@ mod tests {
     #[test]
     fn fallback_ranking_without_target_uses_containment() {
         let (din, candidates, mat) = fixture(4);
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.0; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.0; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let names = vec!["p".to_string()];
         let inputs = SearchInputs {
@@ -130,7 +142,10 @@ mod tests {
         // Din's y column (index 1) is i; candidate columns are i*(t+1) — all
         // perfectly informative for predicting y. Rank with regression: all
         // should get nonzero importance and the ranking must be well-formed.
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.0; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.0; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let names = vec!["p".to_string()];
         let inputs = SearchInputs {

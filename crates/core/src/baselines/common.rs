@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn theta_short_circuits() {
         let (din, candidates, mat) = fixture(5);
-        let task = LinearSyntheticTask { base: 0.1, weights: vec![0.5; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.1,
+            weights: vec![0.5; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let names = vec!["p".to_string()];
         let inputs = SearchInputs {

@@ -32,7 +32,10 @@ mod tests {
     #[test]
     fn join_all_uses_two_queries() {
         let (din, candidates, mat) = fixture(5);
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.1; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.1; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let names = vec!["p".to_string()];
         let inputs = SearchInputs {

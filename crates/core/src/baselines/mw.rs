@@ -39,7 +39,9 @@ pub fn run_mw(
             order.sort_by(|&a, &b| {
                 let va = inputs.profiles[a].get(p).copied().unwrap_or(0.0);
                 let vb = inputs.profiles[b].get(p).copied().unwrap_or(0.0);
-                vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                vb.partial_cmp(&va)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
             });
             order
         })
@@ -131,7 +133,12 @@ mod tests {
         weights[7] = 0.5;
         let task = LinearSyntheticTask { base: 0.2, weights };
         let profiles: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![if i == 7 { 1.0 } else { 0.1 }, if i == 7 { 0.0 } else { 0.9 }])
+            .map(|i| {
+                vec![
+                    if i == 7 { 1.0 } else { 0.1 },
+                    if i == 7 { 0.0 } else { 0.9 },
+                ]
+            })
             .collect();
         let names = vec!["good".to_string(), "bad".to_string()];
         let inputs = SearchInputs {
@@ -151,7 +158,10 @@ mod tests {
     #[test]
     fn mw_terminates_when_all_queried() {
         let (din, candidates, mat) = fixture(4);
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.0; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.0; candidates.len()],
+        };
         let profiles = vec![vec![0.5, 0.5]; candidates.len()];
         let names = vec!["a".to_string(), "b".to_string()];
         let inputs = SearchInputs {
@@ -164,6 +174,10 @@ mod tests {
             task: &task,
         };
         let r = run_mw(&inputs, Some(0.99), 1000, 2);
-        assert_eq!(r.queries, candidates.len() + 1, "every candidate tried once + base");
+        assert_eq!(
+            r.queries,
+            candidates.len() + 1,
+            "every candidate tried once + base"
+        );
     }
 }

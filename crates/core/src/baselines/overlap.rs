@@ -9,11 +9,7 @@ use crate::runner::RunResult;
 ///
 /// Uses the `overlap` profile coordinate when the profile set computed one,
 /// otherwise the containment estimated at discovery time.
-pub fn run_overlap(
-    inputs: &SearchInputs<'_>,
-    theta: Option<f64>,
-    max_queries: usize,
-) -> RunResult {
+pub fn run_overlap(inputs: &SearchInputs<'_>, theta: Option<f64>, max_queries: usize) -> RunResult {
     let overlap_idx = inputs.profile_names.iter().position(|n| n == "overlap");
     let score = |c: usize| -> f64 {
         match overlap_idx {
@@ -41,7 +37,10 @@ mod tests {
     fn overlap_order_queries_full_join_first() {
         let (din, candidates, mat) = fixture(4);
         // Give the useful augmentation a *low* overlap so Overlap finds it late.
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.0; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.0; candidates.len()],
+        };
         let mut profiles = vec![vec![0.9]; candidates.len()];
         profiles[2] = vec![0.1];
         let names = vec!["overlap".to_string()];

@@ -29,7 +29,10 @@ mod tests {
     #[test]
     fn uniform_is_seed_deterministic() {
         let (din, candidates, mat) = fixture(8);
-        let task = LinearSyntheticTask { base: 0.1, weights: vec![0.05; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.1,
+            weights: vec![0.05; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let names = vec!["p".to_string()];
         let inputs = SearchInputs {

@@ -78,17 +78,16 @@ pub fn cluster_partition(profiles: &[Vec<f64>], epsilon: f64, seed: u64) -> Clus
 
     loop {
         // Farthest candidate from its center.
-        let (far_idx, far_dist) = distances
-            .iter()
-            .copied()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bd), (i, d)| {
+        let (far_idx, far_dist) = distances.iter().copied().enumerate().fold(
+            (0usize, f64::NEG_INFINITY),
+            |(bi, bd), (i, d)| {
                 if d > bd {
                     (i, d)
                 } else {
                     (bi, bd)
                 }
-            });
+            },
+        );
         if far_dist <= epsilon {
             break;
         }
@@ -108,7 +107,12 @@ pub fn cluster_partition(profiles: &[Vec<f64>], epsilon: f64, seed: u64) -> Clus
     for (i, &c) in assignment.iter().enumerate() {
         clusters[c].push(i);
     }
-    Clustering { centers, assignment, clusters, distances }
+    Clustering {
+        centers,
+        assignment,
+        clusters,
+        distances,
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +173,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let p = two_blobs();
-        assert_eq!(cluster_partition(&p, 0.05, 9), cluster_partition(&p, 0.05, 9));
+        assert_eq!(
+            cluster_partition(&p, 0.05, 9),
+            cluster_partition(&p, 0.05, 9)
+        );
     }
 
     #[test]

@@ -120,10 +120,17 @@ impl<'a> QueryEngine<'a> {
         self.queries += 1;
         self.cache.insert(set.clone(), u);
         if self.trace.is_empty() || u > self.best_utility {
-            self.best_utility = if self.trace.is_empty() { u } else { self.best_utility.max(u) };
+            self.best_utility = if self.trace.is_empty() {
+                u
+            } else {
+                self.best_utility.max(u)
+            };
             self.best_set = set.clone();
         }
-        self.trace.push(TracePoint { queries: self.queries, utility: self.best_utility });
+        self.trace.push(TracePoint {
+            queries: self.queries,
+            utility: self.best_utility,
+        });
         Ok(u)
     }
 
@@ -181,10 +188,7 @@ pub(crate) mod test_fixtures {
                     Some("zip".into()),
                     (0..n).map(|i| Some(format!("z{i}"))).collect(),
                 ),
-                Column::from_floats(
-                    Some("y".into()),
-                    (0..n).map(|i| Some(i as f64)).collect(),
-                ),
+                Column::from_floats(Some("y".into()), (0..n).map(|i| Some(i as f64)).collect()),
             ],
         )
         .unwrap();
@@ -225,7 +229,10 @@ mod tests {
     #[test]
     fn cache_hits_are_free() {
         let (din, candidates, mat) = fixture(3);
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.1; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.1; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let pnames = names();
         let inputs = SearchInputs {
@@ -249,7 +256,10 @@ mod tests {
     #[test]
     fn budget_stops_search() {
         let (din, candidates, mat) = fixture(3);
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.1; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.1; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let pnames = names();
         let inputs = SearchInputs {
@@ -323,14 +333,19 @@ mod tests {
             let _ = engine.utility_of(&[i].into());
         }
         let trace = engine.trace();
-        assert!(trace.windows(2).all(|w| w[0].utility <= w[1].utility + 1e-12));
+        assert!(trace
+            .windows(2)
+            .all(|w| w[0].utility <= w[1].utility + 1e-12));
         assert!(trace.windows(2).all(|w| w[0].queries < w[1].queries));
     }
 
     #[test]
     fn augmented_table_grows_by_set_size() {
         let (din, candidates, mat) = fixture(3);
-        let task = LinearSyntheticTask { base: 0.0, weights: vec![0.0; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.0,
+            weights: vec![0.0; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let pnames = names();
         let inputs = SearchInputs {

@@ -42,7 +42,11 @@ fn binomial_saturating(n: usize, k: usize) -> usize {
 impl GroupState {
     /// New state with subset size 1 and a per-size group cap.
     pub fn new(cap: usize) -> GroupState {
-        GroupState { t: 1, tried: BTreeSet::new(), cap: cap.max(1) }
+        GroupState {
+            t: 1,
+            tried: BTreeSet::new(),
+            cap: cap.max(1),
+        }
     }
 
     /// How many distinct groups of the current size have been tried.

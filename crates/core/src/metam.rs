@@ -108,6 +108,10 @@ pub struct MetamResult {
     pub base_utility: f64,
     /// Total task queries issued (including certification and minimality).
     pub queries: usize,
+    /// The query budget the search ran under (`usize::MAX` = unbounded) —
+    /// kept on the result so callers can report spent/remaining budget
+    /// without re-threading the configuration.
+    pub budget: usize,
     /// Best-utility-so-far trace.
     pub trace: Vec<TracePoint>,
     /// Number of clusters used.
@@ -116,6 +120,17 @@ pub struct MetamResult {
     pub certification_ignored: usize,
     /// Why the search stopped.
     pub stop_reason: StopReason,
+}
+
+impl MetamResult {
+    /// Budget left unspent; `usize::MAX` for an unbounded search.
+    pub fn queries_remaining(&self) -> usize {
+        if self.budget == usize::MAX {
+            usize::MAX
+        } else {
+            self.budget.saturating_sub(self.queries)
+        }
+    }
 }
 
 /// The Metam search (Algorithm 1).
@@ -207,6 +222,7 @@ impl Metam {
             utility: final_u,
             base_utility: search.base_utility,
             queries: engine.queries(),
+            budget: cfg.max_queries,
             trace: engine.trace().to_vec(),
             n_clusters: clustering.len(),
             certification_ignored: engine.certification_ignored(),
@@ -262,7 +278,7 @@ impl Search<'_, '_> {
                 return Ok(StopReason::ThetaReached);
             }
             let queries_before = engine.queries();
-            let progressed = self.one_round(engine, tau)?;
+            let (progressed, attempted) = self.one_round(engine, tau)?;
             if self.theta_reached() {
                 return Ok(StopReason::ThetaReached);
             }
@@ -270,19 +286,24 @@ impl Search<'_, '_> {
             // learned anything new — i.e. every remaining candidate has
             // been queried against the current solution and none help
             // ("all augmentations are queried and none of them improve").
-            if !progressed && engine.queries() == queries_before {
+            // A round that evaluated candidates entirely from the memo (the
+            // homogeneity probe pre-warms the cache) still counts as
+            // learning: `tried` grew, so later rounds sweep further.
+            if !progressed && !attempted && engine.queries() == queries_before {
                 return Ok(StopReason::Exhausted);
             }
         }
         Ok(StopReason::MaxRounds)
     }
 
-    /// Lines 7–22 of Algorithm 1. Returns whether T* or T*_c improved.
+    /// Lines 7–22 of Algorithm 1. Returns `(improved, attempted)`: whether
+    /// T* or T*_c improved, and whether any sequential candidate was tried
+    /// at all (an empty round means the candidate pool is truly spent).
     fn one_round(
         &mut self,
         engine: &mut QueryEngine<'_>,
         tau: usize,
-    ) -> Result<bool, StopSearch> {
+    ) -> Result<(bool, bool), StopSearch> {
         let n = self.inputs.candidates.len();
         let mut excluded_clusters: BTreeSet<usize> = BTreeSet::new();
         // (candidate, u' = utility of T* ∪ {candidate}) queried this round.
@@ -310,15 +331,24 @@ impl Search<'_, '_> {
             self.tried.insert(pmax);
             let gain = raw - self.u_d;
             // Line 12: propagate the observation.
-            self.quality.record(pmax, gain, self.inputs.profiles, self.clustering);
+            self.quality
+                .record(pmax, gain, self.inputs.profiles, self.clustering);
             if self.cfg.use_thompson {
                 self.sampler.update(cluster, gain > 1e-9);
             }
             q_round.push((pmax, effective));
 
+            // Line 8's guard, applied eagerly: once a sequential query
+            // already meets θ there is nothing left for this round's group
+            // query to improve — commit without spending further budget.
+            if self.cfg.theta.is_some_and(|t| effective >= t) {
+                break;
+            }
+
             // Lines 13–15: group query on Din.
             if let Some(group) =
-                self.group_state.propose(self.clustering, &self.sampler, &mut self.rng)
+                self.group_state
+                    .propose(self.clustering, &self.sampler, &mut self.rng)
             {
                 let gset: BTreeSet<CandidateId> = group.iter().copied().collect();
                 let ug = engine.utility_of(&gset)?;
@@ -366,7 +396,10 @@ impl Search<'_, '_> {
                 self.tried.clear();
             }
         }
-        Ok(committed || self.u_group_best > group_best_before)
+        Ok((
+            committed || self.u_group_best > group_best_before,
+            !q_round.is_empty(),
+        ))
     }
 }
 
@@ -394,7 +427,10 @@ fn homogeneity_ok(
             utilities.push(engine.utility_of(&[m].into())?);
         }
         let mean = utilities.iter().sum::<f64>() / utilities.len() as f64;
-        let close = utilities.iter().filter(|u| (**u - mean).abs() <= epsilon).count();
+        let close = utilities
+            .iter()
+            .filter(|u| (**u - mean).abs() <= epsilon)
+            .count();
         if close * 2 < utilities.len() {
             return Ok(false);
         }
@@ -439,11 +475,19 @@ mod tests {
         let mut weights = vec![0.0; n_ext];
         weights[3] = 0.5;
         let task = LinearSyntheticTask { base: 0.4, weights };
-        let cfg = MetamConfig { theta: Some(0.85), max_queries: 500, ..Default::default() };
+        let cfg = MetamConfig {
+            theta: Some(0.85),
+            max_queries: 500,
+            ..Default::default()
+        };
         let result = run_with_task(n_ext, &task, cfg);
         assert_eq!(result.stop_reason, StopReason::ThetaReached);
         assert!(result.utility >= 0.85, "u={}", result.utility);
-        assert_eq!(result.selected, vec![3], "minimal solution is exactly the useful one");
+        assert_eq!(
+            result.selected,
+            vec![3],
+            "minimal solution is exactly the useful one"
+        );
     }
 
     #[test]
@@ -452,7 +496,11 @@ mod tests {
         let mut weights = vec![0.02; n_ext];
         weights[1] = 0.6;
         let task = LinearSyntheticTask { base: 0.3, weights };
-        let cfg = MetamConfig { theta: Some(0.9), max_queries: 1000, ..Default::default() };
+        let cfg = MetamConfig {
+            theta: Some(0.9),
+            max_queries: 1000,
+            ..Default::default()
+        };
         let result = run_with_task(n_ext, &task, cfg);
         assert!(result.utility >= 0.9 - 1e-9);
         assert!(result.selected.contains(&1));
@@ -462,8 +510,15 @@ mod tests {
     #[test]
     fn exhausts_gracefully_when_theta_unreachable() {
         let n_ext = 6;
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.01; n_ext] };
-        let cfg = MetamConfig { theta: Some(0.99), max_queries: 2000, ..Default::default() };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.01; n_ext],
+        };
+        let cfg = MetamConfig {
+            theta: Some(0.99),
+            max_queries: 2000,
+            ..Default::default()
+        };
         let result = run_with_task(n_ext, &task, cfg);
         assert_ne!(result.stop_reason, StopReason::ThetaReached);
         assert!(result.utility < 0.99);
@@ -473,11 +528,40 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let n_ext = 10;
-        let task = LinearSyntheticTask { base: 0.2, weights: vec![0.01; n_ext] };
-        let cfg = MetamConfig { theta: Some(0.99), max_queries: 15, ..Default::default() };
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.01; n_ext],
+        };
+        let cfg = MetamConfig {
+            theta: Some(0.99),
+            max_queries: 15,
+            ..Default::default()
+        };
         let result = run_with_task(n_ext, &task, cfg);
         assert!(result.queries <= 15);
         assert_eq!(result.stop_reason, StopReason::BudgetExhausted);
+        assert_eq!(result.budget, 15);
+        assert_eq!(result.queries_remaining(), 15 - result.queries);
+    }
+
+    #[test]
+    fn unbounded_budget_reports_unbounded_remaining() {
+        let task = LinearSyntheticTask {
+            base: 0.2,
+            weights: vec![0.3; 4],
+        };
+        let cfg = MetamConfig {
+            theta: Some(0.5),
+            ..Default::default()
+        };
+        let result = run_with_task(4, &task, cfg);
+        assert!(result.queries > 0);
+        assert_eq!(result.budget, usize::MAX);
+        assert_eq!(
+            result.queries_remaining(),
+            usize::MAX,
+            "unbounded stays unbounded"
+        );
     }
 
     #[test]
@@ -486,7 +570,11 @@ mod tests {
         let mut deltas = vec![-0.1; n_ext];
         deltas[2] = 0.4;
         let task = NonMonotoneTask { base: 0.4, deltas };
-        let cfg = MetamConfig { theta: Some(0.75), max_queries: 500, ..Default::default() };
+        let cfg = MetamConfig {
+            theta: Some(0.75),
+            max_queries: 500,
+            ..Default::default()
+        };
         let result = run_with_task(n_ext, &task, cfg);
         assert!(result.utility >= 0.75, "u={}", result.utility);
         assert_eq!(result.selected, vec![2]);
@@ -498,8 +586,16 @@ mod tests {
         let mut weights = vec![0.0; n_ext];
         weights[4] = 0.3;
         weights[7] = 0.25;
-        let mk = || LinearSyntheticTask { base: 0.3, weights: weights.clone() };
-        let cfg = MetamConfig { theta: Some(0.8), max_queries: 500, seed: 11, ..Default::default() };
+        let mk = || LinearSyntheticTask {
+            base: 0.3,
+            weights: weights.clone(),
+        };
+        let cfg = MetamConfig {
+            theta: Some(0.8),
+            max_queries: 500,
+            seed: 11,
+            ..Default::default()
+        };
         let t1 = mk();
         let t2 = mk();
         let a = run_with_task(n_ext, &t1, cfg.clone());
@@ -515,7 +611,10 @@ mod tests {
         let mut weights = vec![0.0; n_ext];
         weights[5] = 0.5;
         for (use_clustering, use_thompson) in [(false, true), (true, false), (false, false)] {
-            let task = LinearSyntheticTask { base: 0.4, weights: weights.clone() };
+            let task = LinearSyntheticTask {
+                base: 0.4,
+                weights: weights.clone(),
+            };
             let cfg = MetamConfig {
                 theta: Some(0.85),
                 max_queries: 1000,
@@ -534,8 +633,15 @@ mod tests {
 
     #[test]
     fn empty_candidate_set_is_safe() {
-        let task = LinearSyntheticTask { base: 0.4, weights: vec![] };
-        let cfg = MetamConfig { theta: Some(0.9), max_queries: 10, ..Default::default() };
+        let task = LinearSyntheticTask {
+            base: 0.4,
+            weights: vec![],
+        };
+        let cfg = MetamConfig {
+            theta: Some(0.9),
+            max_queries: 10,
+            ..Default::default()
+        };
         let result = run_with_task(0, &task, cfg);
         assert_eq!(result.selected, Vec::<usize>::new());
         assert_eq!(result.stop_reason, StopReason::Exhausted);
@@ -548,7 +654,11 @@ mod tests {
         let mut weights = vec![0.0; n_ext];
         weights[0] = 0.4;
         let task = LinearSyntheticTask { base: 0.3, weights };
-        let cfg = MetamConfig { theta: Some(0.65), max_queries: 300, ..Default::default() };
+        let cfg = MetamConfig {
+            theta: Some(0.65),
+            max_queries: 300,
+            ..Default::default()
+        };
         let result = run_with_task(n_ext, &task, cfg);
         let last = result.trace.last().unwrap();
         assert!(last.utility >= result.utility - 1e-9);

@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_returns_current_set() {
         let (din, candidates, mat) = fixture(3);
-        let task = LinearSyntheticTask { base: 0.9, weights: vec![0.0; candidates.len()] };
+        let task = LinearSyntheticTask {
+            base: 0.9,
+            weights: vec![0.0; candidates.len()],
+        };
         let profiles = vec![vec![0.5]; candidates.len()];
         let names = vec!["p".to_string()];
         let inputs = SearchInputs {

@@ -39,7 +39,11 @@ pub struct QualityModel {
 impl QualityModel {
     /// New model with uniform weights over `n_profiles`.
     pub fn new(n_candidates: usize, n_profiles: usize, learn_weights: bool) -> QualityModel {
-        let w = if n_profiles == 0 { 0.0 } else { 1.0 / n_profiles as f64 };
+        let w = if n_profiles == 0 {
+            0.0
+        } else {
+            1.0 / n_profiles as f64
+        };
         QualityModel {
             weights: vec![w; n_profiles],
             observations: Vec::new(),
@@ -187,7 +191,10 @@ mod tests {
         let mut m = QualityModel::new(3, 2, false);
         m.record(0, 0.4, &p, &clustering);
         assert_eq!(m.utility_score(0), 0.4);
-        assert!(m.utility_score(1) > 0.3, "near-duplicate inherits most of the gain");
+        assert!(
+            m.utility_score(1) > 0.3,
+            "near-duplicate inherits most of the gain"
+        );
         assert_eq!(m.utility_score(2), 0.0, "far candidate untouched");
     }
 

@@ -92,9 +92,10 @@ pub fn run_method(
         Method::Uniform { seed } => baselines::run_uniform(inputs, theta, max_queries, *seed),
         Method::Overlap => baselines::run_overlap(inputs, theta, max_queries),
         Method::Mw { seed } => baselines::run_mw(inputs, theta, max_queries, *seed),
-        Method::IArda { classification, seed } => {
-            baselines::run_iarda(inputs, theta, max_queries, *classification, *seed)
-        }
+        Method::IArda {
+            classification,
+            seed,
+        } => baselines::run_iarda(inputs, theta, max_queries, *classification, *seed),
         Method::JoinAll => baselines::run_join_all(inputs, max_queries),
     }
 }
@@ -127,7 +128,10 @@ mod tests {
             Method::Uniform { seed: 1 },
             Method::Overlap,
             Method::Mw { seed: 1 },
-            Method::IArda { classification: false, seed: 1 },
+            Method::IArda {
+                classification: false,
+                seed: 1,
+            },
             Method::JoinAll,
         ];
         for m in &methods {
@@ -145,9 +149,18 @@ mod tests {
         // One needle; profiles point at it (correlation-like signal).
         let mut weights = vec![0.0; n];
         weights[17] = 0.5;
-        let task = LinearSyntheticTask { base: 0.3, weights: weights.clone() };
+        let task = LinearSyntheticTask {
+            base: 0.3,
+            weights: weights.clone(),
+        };
         let profiles: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![if i == 17 { 0.95 } else { (i % 10) as f64 / 30.0 }])
+            .map(|i| {
+                vec![if i == 17 {
+                    0.95
+                } else {
+                    (i % 10) as f64 / 30.0
+                }]
+            })
             .collect();
         let names = vec!["corr".to_string()];
         let inputs = SearchInputs {
@@ -160,7 +173,10 @@ mod tests {
             task: &task,
         };
         let metam = run_method(
-            &Method::Metam(MetamConfig { seed: 5, ..Default::default() }),
+            &Method::Metam(MetamConfig {
+                seed: 5,
+                ..Default::default()
+            }),
             &inputs,
             Some(0.75),
             200,

@@ -117,7 +117,10 @@ mod tests {
     fn table_with_augs(ids: &[usize]) -> Table {
         let mut t = Table::from_columns(
             "din",
-            vec![Column::from_floats(Some("y".into()), vec![Some(1.0), Some(2.0)])],
+            vec![Column::from_floats(
+                Some("y".into()),
+                vec![Some(1.0), Some(2.0)],
+            )],
         )
         .unwrap();
         for &id in ids {
@@ -140,7 +143,10 @@ mod tests {
 
     #[test]
     fn linear_task_caps_at_one() {
-        let task = LinearSyntheticTask { base: 0.5, weights: vec![0.3, 0.4] };
+        let task = LinearSyntheticTask {
+            base: 0.5,
+            weights: vec![0.3, 0.4],
+        };
         assert_eq!(task.utility(&table_with_augs(&[])), 0.5);
         assert!((task.utility(&table_with_augs(&[0])) - 0.8).abs() < 1e-12);
         assert_eq!(task.utility(&table_with_augs(&[0, 1])), 1.0);
@@ -148,7 +154,10 @@ mod tests {
 
     #[test]
     fn set_cover_counts_union() {
-        let task = SetCoverTask { covers: vec![vec![0, 1], vec![1, 2], vec![3]], universe: 4 };
+        let task = SetCoverTask {
+            covers: vec![vec![0, 1], vec![1, 2], vec![3]],
+            universe: 4,
+        };
         assert_eq!(task.utility(&table_with_augs(&[])), 0.0);
         assert_eq!(task.utility(&table_with_augs(&[0])), 0.5);
         assert_eq!(task.utility(&table_with_augs(&[0, 1])), 0.75);
@@ -157,7 +166,10 @@ mod tests {
 
     #[test]
     fn non_monotone_can_decrease() {
-        let task = NonMonotoneTask { base: 0.6, deltas: vec![0.2, -0.3] };
+        let task = NonMonotoneTask {
+            base: 0.6,
+            deltas: vec![0.2, -0.3],
+        };
         assert!(task.utility(&table_with_augs(&[1])) < task.utility(&table_with_augs(&[])));
     }
 }

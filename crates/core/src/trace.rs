@@ -18,7 +18,11 @@ pub fn utility_at(trace: &[TracePoint], budget: usize) -> f64 {
     let mut seen_any = false;
     for p in trace {
         if p.queries <= budget {
-            best = if seen_any { best.max(p.utility) } else { p.utility };
+            best = if seen_any {
+                best.max(p.utility)
+            } else {
+                p.utility
+            };
             seen_any = true;
         } else {
             break;
@@ -42,9 +46,18 @@ mod tests {
 
     fn trace() -> Vec<TracePoint> {
         vec![
-            TracePoint { queries: 0, utility: 0.5 },
-            TracePoint { queries: 10, utility: 0.6 },
-            TracePoint { queries: 50, utility: 0.8 },
+            TracePoint {
+                queries: 0,
+                utility: 0.5,
+            },
+            TracePoint {
+                queries: 10,
+                utility: 0.6,
+            },
+            TracePoint {
+                queries: 50,
+                utility: 0.8,
+            },
         ]
     }
 
@@ -59,7 +72,10 @@ mod tests {
 
     #[test]
     fn utility_before_first_point_uses_first() {
-        let t = vec![TracePoint { queries: 5, utility: 0.4 }];
+        let t = vec![TracePoint {
+            queries: 5,
+            utility: 0.4,
+        }];
         assert_eq!(utility_at(&t, 0), 0.4);
     }
 

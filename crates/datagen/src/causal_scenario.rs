@@ -273,12 +273,18 @@ mod tests {
     fn whatif_truth_is_descendants() {
         let s = build_causal(&CausalConfig::default());
         match &s.spec {
-            TaskSpec::WhatIf { intervened, affected } => {
+            TaskSpec::WhatIf {
+                intervened,
+                affected,
+            } => {
                 assert_eq!(intervened, "critical_reading");
                 assert!(affected.contains(&"writing_score".to_string()));
                 assert!(affected.contains(&"math_score".to_string()));
                 assert!(affected.contains(&"college_admission".to_string()));
-                assert!(!affected.contains(&"study_hours".to_string()), "parents not affected");
+                assert!(
+                    !affected.contains(&"study_hours".to_string()),
+                    "parents not affected"
+                );
             }
             other => panic!("wrong spec {other:?}"),
         }
@@ -286,7 +292,10 @@ mod tests {
 
     #[test]
     fn howto_truth_is_parents() {
-        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
+        let s = build_causal(&CausalConfig {
+            kind: CausalKind::HowTo,
+            ..Default::default()
+        });
         match &s.spec {
             TaskSpec::HowTo { outcome, drivers } => {
                 assert_eq!(outcome, "critical_reading");
@@ -302,7 +311,11 @@ mod tests {
     fn sem_produces_dependent_attributes() {
         let s = build_causal(&CausalConfig::default());
         // writing_score must correlate with Din's critical_reading (its parent).
-        let writing = s.tables.iter().find(|t| t.name == "writing_score_records").unwrap();
+        let writing = s
+            .tables
+            .iter()
+            .find(|t| t.name == "writing_score_records")
+            .unwrap();
         let col = metam_table::join::left_join_column(
             &s.din,
             0,
@@ -313,8 +326,11 @@ mod tests {
         .unwrap();
         let reading = s.din.column_by_name("critical_reading").unwrap().as_f64();
         let w = col.as_f64();
-        let pairs: Vec<(f64, f64)> =
-            w.iter().zip(&reading).filter_map(|(a, b)| a.zip(*b)).collect();
+        let pairs: Vec<(f64, f64)> = w
+            .iter()
+            .zip(&reading)
+            .filter_map(|(a, b)| a.zip(*b))
+            .collect();
         let n = pairs.len() as f64;
         let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
         let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
@@ -326,7 +342,11 @@ mod tests {
 
     #[test]
     fn table_count_matches_config() {
-        let cfg = CausalConfig { n_irrelevant_tables: 5, n_erroneous_tables: 3, ..Default::default() };
+        let cfg = CausalConfig {
+            n_irrelevant_tables: 5,
+            n_erroneous_tables: 3,
+            ..Default::default()
+        };
         let s = build_causal(&cfg);
         // 7 attribute tables + 5 irrelevant + 3 erroneous.
         assert_eq!(s.tables.len(), 15);

@@ -26,7 +26,12 @@ pub struct ClusteringConfig {
 
 impl Default for ClusteringConfig {
     fn default() -> Self {
-        ClusteringConfig { seed: 0, n_rows: 160, n_categories: 4, n_irrelevant_tables: 7 }
+        ClusteringConfig {
+            seed: 0,
+            n_rows: 160,
+            n_categories: 4,
+            n_irrelevant_tables: 7,
+        }
     }
 }
 
@@ -124,7 +129,10 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
         name: "ingredients_clustering".to_string(),
         din,
         tables: tables.into_iter().map(std::sync::Arc::new).collect(),
-        spec: TaskSpec::Clustering { k, truth: categories },
+        spec: TaskSpec::Clustering {
+            k,
+            truth: categories,
+        },
         ground_truth: gt,
         union_tables: Vec::new(),
         eval_table: None,
@@ -138,7 +146,11 @@ mod tests {
     #[test]
     fn oni_is_tight_per_category() {
         let s = build_clustering(&ClusteringConfig::default());
-        let oni_table = s.tables.iter().find(|t| t.name == "nutrient_intake").unwrap();
+        let oni_table = s
+            .tables
+            .iter()
+            .find(|t| t.name == "nutrient_intake")
+            .unwrap();
         let col = oni_table.column_by_name("oni_score").unwrap();
         let vals: Vec<f64> = col.as_f64().into_iter().flatten().collect();
         // Values concentrate near k=4 distinct centers.

@@ -82,7 +82,13 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
                 Some("income_label".to_string()),
                 income
                     .iter()
-                    .map(|&v| Some(if v > median { "high".to_string() } else { "low".to_string() }))
+                    .map(|&v| {
+                        Some(if v > median {
+                            "high".to_string()
+                        } else {
+                            "low".to_string()
+                        })
+                    })
                     .collect(),
             ),
         ],
@@ -103,10 +109,7 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
                     Some("person_id".to_string()),
                     order.iter().map(|&i| Some(keys[i].clone())).collect(),
                 ),
-                Column::from_floats(
-                    Some(col),
-                    order.iter().map(|&i| Some(values[i])).collect(),
-                ),
+                Column::from_floats(Some(col), order.iter().map(|&i| Some(values[i])).collect()),
             ],
         )
         .expect("aligned");
@@ -119,12 +122,22 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
         let values: Vec<f64> = (0..n)
             .map(|i| 0.9 * sensitive[i] + 0.1 * unit(&mut rng))
             .collect();
-        push_table(format!("profile_{t:02}"), format!("score_{t}"), values, &mut rng);
+        push_table(
+            format!("profile_{t:02}"),
+            format!("score_{t}"),
+            values,
+            &mut rng,
+        );
     }
     // Fair but useless.
     for t in 0..cfg.n_useless_tables {
         let values: Vec<f64> = (0..n).map(|_| unit(&mut rng)).collect();
-        push_table(format!("hobby_{t:02}"), format!("level_{t}"), values, &mut rng);
+        push_table(
+            format!("hobby_{t:02}"),
+            format!("level_{t}"),
+            values,
+            &mut rng,
+        );
     }
     // Fair and useful: tracks merit only.
     for t in 0..cfg.n_useful_tables {
@@ -159,7 +172,12 @@ mod tests {
         let n = a.len() as f64;
         let ma = a.iter().sum::<f64>() / n;
         let mb = b.iter().sum::<f64>() / n;
-        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
         let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
         let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
         cov / (va.sqrt() * vb.sqrt())
@@ -167,14 +185,8 @@ mod tests {
 
     fn joined(s: &Scenario, table: &str, col: &str) -> Vec<f64> {
         let t = s.tables.iter().find(|t| t.name == table).unwrap();
-        let c = metam_table::join::left_join_column(
-            &s.din,
-            0,
-            t,
-            0,
-            t.column_index(col).unwrap(),
-        )
-        .unwrap();
+        let c = metam_table::join::left_join_column(&s.din, 0, t, 0, t.column_index(col).unwrap())
+            .unwrap();
         c.as_f64().into_iter().map(|v| v.unwrap_or(0.0)).collect()
     }
 
@@ -190,7 +202,10 @@ mod tests {
             .map(|v| v.unwrap())
             .collect::<Vec<_>>();
         let unfair = joined(&s, "profile_00", "score_0");
-        assert!(corr(&age, &unfair).abs() > 0.7, "unfair must correlate with sensitive");
+        assert!(
+            corr(&age, &unfair).abs() > 0.7,
+            "unfair must correlate with sensitive"
+        );
         let useful = joined(&s, "employment_00", "tenure_0");
         assert!(corr(&age, &useful).abs() < 0.2, "useful must be fair");
     }

@@ -17,12 +17,46 @@ pub fn ids(prefix: &str, n: usize) -> Vec<String> {
 /// ambiguous US city names so the scenario reads like the paper's CDC
 /// example.
 pub const CITY_NAMES: &[&str] = &[
-    "Birmingham", "Springfield", "Franklin", "Clinton", "Greenville", "Bristol", "Salem",
-    "Fairview", "Madison", "Georgetown", "Arlington", "Ashland", "Dover", "Oxford", "Jackson",
-    "Burlington", "Manchester", "Milton", "Newport", "Auburn", "Centerville", "Clayton",
-    "Dayton", "Lexington", "Milford", "Riverside", "Troy", "Lebanon", "Kingston", "Hudson",
-    "Florence", "Danville", "Cleveland", "Columbus", "Marion", "Monroe", "Princeton", "Richmond",
-    "Winchester", "Lancaster",
+    "Birmingham",
+    "Springfield",
+    "Franklin",
+    "Clinton",
+    "Greenville",
+    "Bristol",
+    "Salem",
+    "Fairview",
+    "Madison",
+    "Georgetown",
+    "Arlington",
+    "Ashland",
+    "Dover",
+    "Oxford",
+    "Jackson",
+    "Burlington",
+    "Manchester",
+    "Milton",
+    "Newport",
+    "Auburn",
+    "Centerville",
+    "Clayton",
+    "Dayton",
+    "Lexington",
+    "Milford",
+    "Riverside",
+    "Troy",
+    "Lebanon",
+    "Kingston",
+    "Hudson",
+    "Florence",
+    "Danville",
+    "Cleveland",
+    "Columbus",
+    "Marion",
+    "Monroe",
+    "Princeton",
+    "Richmond",
+    "Winchester",
+    "Lancaster",
 ];
 
 /// US state abbreviations used by the linking scenario.

@@ -26,7 +26,12 @@ pub struct LinkingConfig {
 
 impl Default for LinkingConfig {
     fn default() -> Self {
-        LinkingConfig { seed: 0, n_rows: 300, ambiguity: 3, n_irrelevant_tables: 60 }
+        LinkingConfig {
+            seed: 0,
+            n_rows: 300,
+            ambiguity: 3,
+            n_irrelevant_tables: 60,
+        }
     }
 }
 
@@ -112,7 +117,9 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
                 ),
                 Column::from_strings(
                     Some(format!("tag_{t}")),
-                    (0..n).map(|i| Some(format!("t{}", (i * (t + 3)) % 11))).collect(),
+                    (0..n)
+                        .map(|i| Some(format!("t{}", (i * (t + 3)) % 11)))
+                        .collect(),
                 ),
             ],
         )
@@ -129,7 +136,10 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
         name: "entity_linking".to_string(),
         din,
         tables: tables.into_iter().map(std::sync::Arc::new).collect(),
-        spec: TaskSpec::EntityLinking { mention: "city_name".to_string(), truth },
+        spec: TaskSpec::EntityLinking {
+            mention: "city_name".to_string(),
+            truth,
+        },
         ground_truth: gt,
         union_tables: Vec::new(),
         eval_table: None,

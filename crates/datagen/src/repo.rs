@@ -44,8 +44,8 @@ pub fn random_repository(seed: u64, n_tables: usize, source: &str) -> Vec<Table>
                 .collect();
             cols.push(Column::from_floats(name, vals));
         }
-        let mut table = Table::from_columns(format!("{source}_table_{t:05}"), cols)
-            .expect("aligned");
+        let mut table =
+            Table::from_columns(format!("{source}_table_{t:05}"), cols).expect("aligned");
         table.source = source.to_string();
         tables.push(table);
     }
@@ -235,8 +235,14 @@ mod tests {
     fn presets_build() {
         assert_eq!(price_classification(0).name, "housing_prices");
         assert!(!collisions_regression(0).spec.is_classification());
-        assert!(matches!(sat_whatif(0).spec, crate::scenario::TaskSpec::WhatIf { .. }));
-        assert!(matches!(sat_howto(0).spec, crate::scenario::TaskSpec::HowTo { .. }));
+        assert!(matches!(
+            sat_whatif(0).spec,
+            crate::scenario::TaskSpec::WhatIf { .. }
+        ));
+        assert!(matches!(
+            sat_howto(0).spec,
+            crate::scenario::TaskSpec::HowTo { .. }
+        ));
     }
 
     #[test]

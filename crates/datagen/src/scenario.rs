@@ -111,7 +111,8 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Mark a column relevant.
     pub fn mark(&mut self, table: impl Into<String>, column: impl Into<String>, strength: f64) {
-        self.relevant.insert((table.into(), column.into()), strength.clamp(0.0, 1.0));
+        self.relevant
+            .insert((table.into(), column.into()), strength.clamp(0.0, 1.0));
     }
 
     /// Relevance of a `(table, column)` pair.
@@ -173,7 +174,11 @@ mod tests {
         gt.mark("bad_join", "x", 0.9);
         assert_eq!(gt.relevance("crime", "rate"), 0.8);
         assert_eq!(gt.relevance("crime", "other"), 0.0);
-        assert_eq!(gt.relevance("bad_join", "x"), 0.0, "erroneous tables are never relevant");
+        assert_eq!(
+            gt.relevance("bad_join", "x"),
+            0.0,
+            "erroneous tables are never relevant"
+        );
         assert!(gt.is_relevant("crime", "rate"));
     }
 
@@ -184,7 +189,10 @@ mod tests {
         assert!(c.is_classification());
         let r = TaskSpec::Regression { target: "y".into() };
         assert!(!r.is_classification());
-        let w = TaskSpec::WhatIf { intervened: "x".into(), affected: vec![] };
+        let w = TaskSpec::WhatIf {
+            intervened: "x".into(),
+            affected: vec![],
+        };
         assert_eq!(w.target_name(), None);
     }
 }

@@ -131,8 +131,10 @@ fn repo_table<R: Rng>(
     if permute {
         key_values = permute_keys(&key_values, rng);
     }
-    let mut cols =
-        vec![Column::from_strings(Some("zipcode".to_string()), key_values.into_iter().map(Some).collect())];
+    let mut cols = vec![Column::from_strings(
+        Some("zipcode".to_string()),
+        key_values.into_iter().map(Some).collect(),
+    )];
     for (cname, values) in columns {
         let data: Vec<Option<f64>> = order
             .iter()
@@ -155,7 +157,9 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
     // Continuous target: weighted signal sum + noise.
     let y_cont: Vec<f64> = (0..n)
         .map(|i| {
-            let s: f64 = (0..cfg.n_informative).map(|j| w[j] * signal(cfg.seed, j, i)).sum();
+            let s: f64 = (0..cfg.n_informative)
+                .map(|j| w[j] * signal(cfg.seed, j, i))
+                .sum();
             s + cfg.noise * (mix(cfg.seed ^ 0xABCD, 0, i as u64) - 0.5)
         })
         .collect();
@@ -165,22 +169,30 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
 
     // Din: key + two base features (one weakly informative, one junk) + target.
     let base1: Vec<Option<f64>> = (0..n)
-        .map(|i| {
-            Some(0.4 * signal(cfg.seed, 0, i) + 0.6 * mix(cfg.seed ^ 0x11, 1, i as u64))
-        })
+        .map(|i| Some(0.4 * signal(cfg.seed, 0, i) + 0.6 * mix(cfg.seed ^ 0x11, 1, i as u64)))
         .collect();
-    let base2: Vec<Option<f64>> =
-        (0..n).map(|i| Some(mix(cfg.seed ^ 0x22, 2, i as u64))).collect();
+    let base2: Vec<Option<f64>> = (0..n)
+        .map(|i| Some(mix(cfg.seed ^ 0x22, 2, i as u64)))
+        .collect();
     let target_col = if cfg.classification {
         Column::from_strings(
             Some("label".to_string()),
             y_cont
                 .iter()
-                .map(|&y| Some(if y > median { "high".to_string() } else { "low".to_string() }))
+                .map(|&y| {
+                    Some(if y > median {
+                        "high".to_string()
+                    } else {
+                        "low".to_string()
+                    })
+                })
                 .collect(),
         )
     } else {
-        Column::from_floats(Some("label".to_string()), y_cont.iter().map(|&y| Some(y)).collect())
+        Column::from_floats(
+            Some("label".to_string()),
+            y_cont.iter().map(|&y| Some(y)).collect(),
+        )
     };
     let din = {
         let mut t = Table::from_columns(
@@ -207,8 +219,7 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
     // the junk on average, so the Overlap ranking is misled exactly the way
     // §II-C describes ("identifies datasets that contain fewer missing
     // values, but does not guarantee to optimize the task").
-    let informative_coverage =
-        |rng: &mut StdRng| cfg.key_coverage * rng.gen_range(0.75..0.92);
+    let informative_coverage = |rng: &mut StdRng| cfg.key_coverage * rng.gen_range(0.75..0.92);
     let junk_coverage = |rng: &mut StdRng| (cfg.key_coverage * rng.gen_range(0.9..1.05)).min(0.99);
 
     // Informative tables (+ near-duplicates).
@@ -216,7 +227,9 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
         let base_name = INFORMATIVE_NAMES[j % INFORMATIVE_NAMES.len()];
         let signal_col = format!("{base_name}_value");
         let values: Vec<f64> = (0..n)
-            .map(|i| signal(cfg.seed, j, i) + 0.15 * (mix(cfg.seed ^ 0x33, j as u64, i as u64) - 0.5))
+            .map(|i| {
+                signal(cfg.seed, j, i) + 0.15 * (mix(cfg.seed ^ 0x33, j as u64, i as u64) - 0.5)
+            })
             .collect();
         let mut columns = vec![(signal_col.clone(), values.clone())];
         for e in 0..cfg.extra_cols_per_table {
@@ -244,7 +257,9 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
             let dup_values: Vec<f64> = values
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| v + 0.08 * (mix(cfg.seed ^ 0x55, (j * 7 + d) as u64, i as u64) - 0.5))
+                .map(|(i, &v)| {
+                    v + 0.08 * (mix(cfg.seed ^ 0x55, (j * 7 + d) as u64, i as u64) - 0.5)
+                })
                 .collect();
             let dup_cov = informative_coverage(&mut rng);
             tables.push(repo_table(
@@ -310,7 +325,10 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
     // Erroneous tables: would-be signal, but the key assignment is permuted.
     for t in 0..cfg.n_erroneous_tables {
         let j = t % cfg.n_informative.max(1);
-        let name = format!("{}_mirror{t}", INFORMATIVE_NAMES[j % INFORMATIVE_NAMES.len()]);
+        let name = format!(
+            "{}_mirror{t}",
+            INFORMATIVE_NAMES[j % INFORMATIVE_NAMES.len()]
+        );
         let col = "shadow_value".to_string();
         let values: Vec<f64> = (0..n).map(|i| signal(cfg.seed, j, i)).collect();
         let cov = junk_coverage(&mut rng);
@@ -328,9 +346,13 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
     }
 
     let spec = if cfg.classification {
-        TaskSpec::Classification { target: "label".to_string() }
+        TaskSpec::Classification {
+            target: "label".to_string(),
+        }
     } else {
-        TaskSpec::Regression { target: "label".to_string() }
+        TaskSpec::Regression {
+            target: "label".to_string(),
+        }
     };
 
     Scenario {
@@ -380,11 +402,15 @@ mod tests {
     #[test]
     fn ground_truth_marks_informative_columns() {
         let s = build_supervised(&SupervisedConfig::default());
-        assert!(s.ground_truth.is_relevant("crime_stats", "crime_stats_value"));
+        assert!(s
+            .ground_truth
+            .is_relevant("crime_stats", "crime_stats_value"));
         assert!(!s.ground_truth.is_relevant("misc_000", "metric_0"));
         // Duplicates carry slightly weaker relevance.
         let main = s.ground_truth.relevance("crime_stats", "crime_stats_value");
-        let dup = s.ground_truth.relevance("crime_stats_v2", "crime_stats_value");
+        let dup = s
+            .ground_truth
+            .relevance("crime_stats_v2", "crime_stats_value");
         assert!(dup > 0.0 && dup < main);
     }
 
@@ -406,8 +432,7 @@ mod tests {
         .unwrap();
         let y = s.din.column_by_name("label").unwrap().as_f64();
         let x = col.as_f64();
-        let pairs: Vec<(f64, f64)> =
-            x.iter().zip(&y).filter_map(|(a, b)| a.zip(*b)).collect();
+        let pairs: Vec<(f64, f64)> = x.iter().zip(&y).filter_map(|(a, b)| a.zip(*b)).collect();
         let n = pairs.len() as f64;
         let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
         let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
@@ -439,8 +464,7 @@ mod tests {
         .unwrap();
         let y = s.din.column_by_name("label").unwrap().as_f64();
         let x = col.as_f64();
-        let pairs: Vec<(f64, f64)> =
-            x.iter().zip(&y).filter_map(|(a, b)| a.zip(*b)).collect();
+        let pairs: Vec<(f64, f64)> = x.iter().zip(&y).filter_map(|(a, b)| a.zip(*b)).collect();
         let n = pairs.len() as f64;
         let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
         let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;

@@ -33,7 +33,13 @@ pub struct UnionsConfig {
 
 impl Default for UnionsConfig {
     fn default() -> Self {
-        UnionsConfig { seed: 0, n_base_rows: 70, rows_per_candidate: 150, n_good: 4, n_bad: 12 }
+        UnionsConfig {
+            seed: 0,
+            n_base_rows: 70,
+            rows_per_candidate: 150,
+            n_good: 4,
+            n_bad: 12,
+        }
     }
 }
 
@@ -61,7 +67,11 @@ fn rent_rows(
         sqft.push(s);
         rooms.push(r);
         dist.push(d);
-        label.push(if high { "high".to_string() } else { "low".to_string() });
+        label.push(if high {
+            "high".to_string()
+        } else {
+            "low".to_string()
+        });
     }
     (sqft, rooms, dist, label)
 }
@@ -71,8 +81,14 @@ fn rent_table(name: &str, n: usize, flip_prob: f64, rng: &mut StdRng) -> Table {
     let mut t = Table::from_columns(
         name,
         vec![
-            Column::from_floats(Some("sqft".to_string()), sqft.into_iter().map(Some).collect()),
-            Column::from_floats(Some("rooms".to_string()), rooms.into_iter().map(Some).collect()),
+            Column::from_floats(
+                Some("sqft".to_string()),
+                sqft.into_iter().map(Some).collect(),
+            ),
+            Column::from_floats(
+                Some("rooms".to_string()),
+                rooms.into_iter().map(Some).collect(),
+            ),
             Column::from_floats(
                 Some("subway_distance".to_string()),
                 dist.into_iter().map(Some).collect(),
@@ -126,7 +142,9 @@ pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
                 ),
                 Column::from_floats(
                     Some(marker_col.clone()),
-                    (0..cfg.n_base_rows).map(|i| Some((c * 1000 + i % 7) as f64)).collect(),
+                    (0..cfg.n_base_rows)
+                        .map(|i| Some((c * 1000 + i % 7) as f64))
+                        .collect(),
                 ),
             ],
         )
@@ -135,7 +153,12 @@ pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
         marker_tables.push(marker);
 
         let flip_prob = if good { 0.0 } else { rng.gen_range(0.35..0.5) };
-        union_tables.push(rent_table(&name, cfg.rows_per_candidate, flip_prob, &mut rng));
+        union_tables.push(rent_table(
+            &name,
+            cfg.rows_per_candidate,
+            flip_prob,
+            &mut rng,
+        ));
         if good {
             gt.mark(&name, &marker_col, 1.0);
         }
@@ -145,7 +168,9 @@ pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
         name: "nyc_rent_unions".to_string(),
         din,
         tables: marker_tables.into_iter().map(std::sync::Arc::new).collect(),
-        spec: TaskSpec::Unions { target: "rent_label".to_string() },
+        spec: TaskSpec::Unions {
+            target: "rent_label".to_string(),
+        },
         ground_truth: gt,
         union_tables,
         eval_table: Some(eval_table),
@@ -176,7 +201,11 @@ mod tests {
     #[test]
     fn good_batches_marked_relevant() {
         let s = build_unions(&UnionsConfig::default());
-        assert!(s.ground_truth.is_relevant("listings_batch_00", "union_marker_0"));
-        assert!(!s.ground_truth.is_relevant("listings_batch_15", "union_marker_15"));
+        assert!(s
+            .ground_truth
+            .is_relevant("listings_batch_00", "union_marker_0"));
+        assert!(!s
+            .ground_truth
+            .is_relevant("listings_batch_15", "union_marker_15"));
     }
 }

@@ -92,7 +92,10 @@ mod tests {
                     (0..50).map(|i| Some(format!("z{i}"))).collect(),
                 ),
                 Column::from_floats(Some("a".into()), (0..50).map(|i| Some(i as f64)).collect()),
-                Column::from_floats(Some("b".into()), (0..50).map(|i| Some(-(i as f64))).collect()),
+                Column::from_floats(
+                    Some("b".into()),
+                    (0..50).map(|i| Some(-(i as f64))).collect(),
+                ),
             ],
         )
         .unwrap();

@@ -49,7 +49,10 @@ impl DiscoveryIndex {
                 let non_null = col.len() - col.null_count();
                 let keyish = non_null > 0 && keys.len() * 2 >= non_null;
                 entries.push(ColumnEntry {
-                    column: ColumnRef { table: ti, column: ci },
+                    column: ColumnRef {
+                        table: ti,
+                        column: ci,
+                    },
                     sketch: MinHash::from_keys(&keys),
                     keyish,
                 });
@@ -106,7 +109,12 @@ impl DiscoveryIndex {
         let n_columns = self.entries.len();
         let n_keyish = self.entries.iter().filter(|e| e.keyish).count();
         let bytes = self.tables.iter().map(|t| t.approx_bytes()).sum();
-        IndexStats { n_tables, n_columns, n_keyish, bytes }
+        IndexStats {
+            n_tables,
+            n_columns,
+            n_keyish,
+            bytes,
+        }
     }
 }
 
@@ -134,7 +142,10 @@ mod tests {
             "crime",
             vec![
                 Column::from_strings(Some("zip".into()), zips.clone()),
-                Column::from_floats(Some("rate".into()), (0..100).map(|i| Some(i as f64)).collect()),
+                Column::from_floats(
+                    Some("rate".into()),
+                    (0..100).map(|i| Some(i as f64)).collect(),
+                ),
             ],
         )
         .unwrap();
@@ -143,7 +154,9 @@ mod tests {
             "category",
             vec![Column::from_strings(
                 Some("kind".into()),
-                (0..100).map(|i| Some(if i % 2 == 0 { "a" } else { "b" }.to_string())).collect(),
+                (0..100)
+                    .map(|i| Some(if i % 2 == 0 { "a" } else { "b" }.to_string()))
+                    .collect(),
             )],
         )
         .unwrap();
@@ -165,7 +178,13 @@ mod tests {
         let probe = MinHash::from_keys(&probe_keys);
         let hits = idx.joinable_columns(&probe, 0.5, None);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].0, ColumnRef { table: 0, column: 0 });
+        assert_eq!(
+            hits[0].0,
+            ColumnRef {
+                table: 0,
+                column: 0
+            }
+        );
         assert!(hits[0].1 > 0.8);
     }
 

@@ -26,7 +26,10 @@ impl Materializer {
     /// New materializer over the repository tables (same order as the
     /// [`crate::DiscoveryIndex`] that produced the candidates).
     pub fn new(tables: Vec<Arc<Table>>) -> Materializer {
-        Materializer { tables, cache: RwLock::new(HashMap::new()) }
+        Materializer {
+            tables,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The repository tables.
@@ -70,10 +73,13 @@ impl Materializer {
     ) -> metam_table::Result<Column> {
         // Row mapping from Din rows into the current table of the chain.
         let first = &candidate.path.hops[0];
-        let first_table = self
-            .tables
-            .get(first.table)
-            .ok_or(TableError::ColumnIndexOutOfBounds { index: first.table, len: self.tables.len() })?;
+        let first_table =
+            self.tables
+                .get(first.table)
+                .ok_or(TableError::ColumnIndexOutOfBounds {
+                    index: first.table,
+                    len: self.tables.len(),
+                })?;
         let probe_keys = din.column(first.left_column)?.join_keys();
         let index = first_match_index(first_table.column(first.key_column)?);
         if index.is_empty() {
@@ -87,10 +93,13 @@ impl Materializer {
 
         for hop in &candidate.path.hops[1..] {
             let bridge = current_table.column(hop.left_column)?;
-            let next_table = self
-                .tables
-                .get(hop.table)
-                .ok_or(TableError::ColumnIndexOutOfBounds { index: hop.table, len: self.tables.len() })?;
+            let next_table =
+                self.tables
+                    .get(hop.table)
+                    .ok_or(TableError::ColumnIndexOutOfBounds {
+                        index: hop.table,
+                        len: self.tables.len(),
+                    })?;
             let next_index = first_match_index(next_table.column(hop.key_column)?);
             if next_index.is_empty() {
                 return Err(TableError::EmptyJoinKey);
@@ -167,7 +176,10 @@ mod tests {
         .unwrap();
         let tables = vec![Arc::new(t0), Arc::new(t1)];
         let index = DiscoveryIndex::build(tables.clone());
-        let cfg = PathConfig { containment_threshold: 0.05, ..Default::default() };
+        let cfg = PathConfig {
+            containment_threshold: 0.05,
+            ..Default::default()
+        };
         let candidates = crate::candidate::generate_candidates(&din, &index, &cfg, 100);
         let mat = Materializer::new(tables);
         (din, index, mat, candidates)

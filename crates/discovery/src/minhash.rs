@@ -44,7 +44,10 @@ impl MinHash {
                 }
             }
         }
-        MinHash { mins, cardinality: keys.len() }
+        MinHash {
+            mins,
+            cardinality: keys.len(),
+        }
     }
 
     /// Estimated Jaccard similarity with another sketch.
@@ -121,7 +124,10 @@ mod tests {
         let c_small_in_big = small.containment_in(&big);
         let c_big_in_small = big.containment_in(&small);
         assert!(c_small_in_big > 0.8, "subset containment {c_small_in_big}");
-        assert!(c_big_in_small < 0.3, "superset containment {c_big_in_small}");
+        assert!(
+            c_big_in_small < 0.3,
+            "superset containment {c_big_in_small}"
+        );
     }
 
     #[test]
@@ -137,6 +143,9 @@ mod tests {
     fn sketch_is_order_insensitive() {
         let mut shuffled = keys(0..50);
         shuffled.reverse();
-        assert_eq!(MinHash::from_keys(&keys(0..50)), MinHash::from_keys(&shuffled));
+        assert_eq!(
+            MinHash::from_keys(&keys(0..50)),
+            MinHash::from_keys(&shuffled)
+        );
     }
 }

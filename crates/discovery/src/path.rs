@@ -27,12 +27,21 @@ pub struct JoinPath {
 impl JoinPath {
     /// Single-hop path.
     pub fn single(left_column: usize, table: usize, key_column: usize) -> JoinPath {
-        JoinPath { hops: vec![Hop { left_column, table, key_column }] }
+        JoinPath {
+            hops: vec![Hop {
+                left_column,
+                table,
+                key_column,
+            }],
+        }
     }
 
     /// Index of the final table in the chain.
     pub fn last_table(&self) -> usize {
-        self.hops.last().expect("join path has at least one hop").table
+        self.hops
+            .last()
+            .expect("join path has at least one hop")
+            .table
     }
 
     /// Chain length `t` (number of joined datasets).
@@ -59,7 +68,11 @@ pub struct PathConfig {
 
 impl Default for PathConfig {
     fn default() -> Self {
-        PathConfig { containment_threshold: 0.6, max_hops: 2, max_paths: 50_000 }
+        PathConfig {
+            containment_threshold: 0.6,
+            max_hops: 2,
+            max_paths: 50_000,
+        }
     }
 }
 
@@ -130,7 +143,11 @@ fn extend_path(
                 return;
             }
             let mut hops = path.hops.clone();
-            hops.push(Hop { left_column: ci, table: target.table, key_column: target.column });
+            hops.push(Hop {
+                left_column: ci,
+                table: target.table,
+                key_column: target.column,
+            });
             out.push((JoinPath { hops }, first_containment));
         }
     }
@@ -141,7 +158,11 @@ pub fn describe_path(din: &Table, path: &JoinPath, index: &DiscoveryIndex) -> St
     let mut parts = vec![din.column_display_name(path.hops[0].left_column)];
     for hop in &path.hops {
         let t = index.table(hop.table);
-        parts.push(format!("{}.{}", t.name, t.column_display_name(hop.key_column)));
+        parts.push(format!(
+            "{}.{}",
+            t.name,
+            t.column_display_name(hop.key_column)
+        ));
     }
     parts.join("→")
 }
@@ -187,7 +208,10 @@ mod tests {
                     Some("district".into()),
                     (0..60).map(|i| Some(format!("d{i}"))).collect(),
                 ),
-                Column::from_floats(Some("rate".into()), (0..60).map(|i| Some(i as f64)).collect()),
+                Column::from_floats(
+                    Some("rate".into()),
+                    (0..60).map(|i| Some(i as f64)).collect(),
+                ),
             ],
         )
         .unwrap();
@@ -227,7 +251,10 @@ mod tests {
     #[test]
     fn max_hops_one_disables_transitive() {
         let idx = repo();
-        let cfg = PathConfig { max_hops: 1, ..Default::default() };
+        let cfg = PathConfig {
+            max_hops: 1,
+            ..Default::default()
+        };
         let paths = enumerate_paths(&din(), &idx, &cfg);
         assert!(paths.iter().all(|(p, _)| p.len() == 1));
     }
@@ -235,7 +262,10 @@ mod tests {
     #[test]
     fn max_paths_caps_enumeration() {
         let idx = repo();
-        let cfg = PathConfig { max_paths: 1, ..Default::default() };
+        let cfg = PathConfig {
+            max_paths: 1,
+            ..Default::default()
+        };
         let paths = enumerate_paths(&din(), &idx, &cfg);
         assert_eq!(paths.len(), 1);
     }

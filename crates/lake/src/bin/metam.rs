@@ -1,0 +1,8 @@
+//! `metam` — goal-oriented data discovery over a directory of CSV files.
+//!
+//! See `metam help` (or [`metam_lake::cli`]) for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(metam_lake::cli::run(&args));
+}

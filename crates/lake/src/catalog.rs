@@ -1,0 +1,349 @@
+//! [`LakeCatalog`]: scan a directory of CSVs into a persistent catalog.
+//!
+//! A scan walks `<root>` for `*.csv` files (sorted, deterministic),
+//! profiles each one ([`ColumnStats`] per column), and persists the result
+//! as `<root>/.metam/catalog.tsv`. A later scan reuses the cached profile
+//! of any file whose **size and mtime are unchanged** — re-profiling (and
+//! re-reading) only what moved. [`LakeCatalog::cache_hits`] exposes the
+//! counter the integration tests assert on.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use metam_table::csv::read_csv;
+use metam_table::Table;
+
+use crate::manifest;
+use crate::stats::ColumnStats;
+use crate::{LakeError, Result};
+
+/// Catalog record of one lake table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    /// Table name (the file stem).
+    pub name: String,
+    /// File name relative to the lake root.
+    pub file_name: String,
+    /// File size in bytes at profiling time.
+    pub file_size: u64,
+    /// Modification time, seconds since the epoch.
+    pub mtime_s: u64,
+    /// Modification time, sub-second nanoseconds.
+    pub mtime_ns: u32,
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// Per-column summary statistics.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// A scanned lake directory: table registry + persisted profile cache.
+#[derive(Debug)]
+pub struct LakeCatalog {
+    root: PathBuf,
+    entries: Vec<TableMeta>,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+/// File metadata used for cache invalidation.
+fn fingerprint(path: &Path) -> Result<(u64, u64, u32)> {
+    let meta = std::fs::metadata(path)?;
+    let (s, ns) = match meta.modified() {
+        Ok(t) => match t.duration_since(std::time::UNIX_EPOCH) {
+            Ok(d) => (d.as_secs(), d.subsec_nanos()),
+            Err(_) => (0, 0),
+        },
+        Err(_) => (0, 0),
+    };
+    Ok((meta.len(), s, ns))
+}
+
+impl LakeCatalog {
+    /// Path of the manifest under a lake root.
+    pub fn manifest_path(root: &Path) -> PathBuf {
+        root.join(".metam").join("catalog.tsv")
+    }
+
+    /// Scan `root` for CSV files, profiling new/changed files and reusing
+    /// the persisted profile cache for unchanged ones; the refreshed
+    /// manifest is written back before returning.
+    pub fn scan(root: impl AsRef<Path>) -> Result<LakeCatalog> {
+        let root = root.as_ref().to_path_buf();
+        let manifest_path = Self::manifest_path(&root);
+        // A corrupt manifest must not brick the lake: fall back to a full
+        // re-profile (the rewrite below heals it).
+        let cached = manifest::load(&manifest_path).unwrap_or_default();
+
+        let mut files: Vec<(String, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let is_csv = path
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+            if !is_csv {
+                continue;
+            }
+            let file_name = entry.file_name().to_string_lossy().into_owned();
+            files.push((file_name, path));
+        }
+        files.sort();
+
+        // Table names are file stems; two files must not collapse onto one
+        // name (e.g. `trips.csv` + `trips.CSV`) or lookups and the
+        // din-exclusion logic would silently pick one of them.
+        let mut stems: Vec<&str> = files
+            .iter()
+            .map(|(f, _)| f.rsplit_once('.').map_or(f.as_str(), |(stem, _)| stem))
+            .collect();
+        stems.sort_unstable();
+        if let Some(dup) = stems.windows(2).find(|w| w[0] == w[1]) {
+            return Err(LakeError::BadArgument(format!(
+                "two lake files share the table name {:?}; rename one",
+                dup[0]
+            )));
+        }
+
+        let cached_by_file: std::collections::HashMap<&str, &TableMeta> =
+            cached.iter().map(|e| (e.file_name.as_str(), e)).collect();
+        let mut entries = Vec::with_capacity(files.len());
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        for (file_name, path) in files {
+            let (file_size, mtime_s, mtime_ns) = fingerprint(&path)?;
+            if let Some(&hit) = cached_by_file.get(file_name.as_str()).filter(|e| {
+                e.file_size == file_size && e.mtime_s == mtime_s && e.mtime_ns == mtime_ns
+            }) {
+                cache_hits += 1;
+                entries.push(hit.clone());
+                continue;
+            }
+            cache_misses += 1;
+            let table = read_table_file(&path)?;
+            entries.push(TableMeta {
+                name: table.name.clone(),
+                file_name,
+                file_size,
+                mtime_s,
+                mtime_ns,
+                nrows: table.nrows(),
+                ncols: table.ncols(),
+                columns: table
+                    .columns()
+                    .iter()
+                    .map(ColumnStats::from_column)
+                    .collect(),
+            });
+        }
+
+        manifest::store(&manifest_path, &entries)?;
+        Ok(LakeCatalog {
+            root,
+            entries,
+            cache_hits,
+            cache_misses,
+        })
+    }
+
+    /// Lake root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Registered tables, in deterministic (file-name) order.
+    pub fn entries(&self) -> &[TableMeta] {
+        &self.entries
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the lake holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Files whose cached profile was reused by the last scan.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Files the last scan had to (re-)profile.
+    pub fn cache_misses(&self) -> usize {
+        self.cache_misses
+    }
+
+    /// Catalog record by table name.
+    pub fn get(&self, name: &str) -> Option<&TableMeta> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Load one table's data from disk.
+    pub fn load_table(&self, name: &str) -> Result<Table> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| LakeError::UnknownTable(name.to_string()))?;
+        read_table_file(&self.root.join(&entry.file_name))
+    }
+
+    /// Load every table except those named in `exclude` (typically the
+    /// input dataset, which must not join with itself).
+    pub fn load_all_except(&self, exclude: &[&str]) -> Result<Vec<Arc<Table>>> {
+        let mut tables = Vec::with_capacity(self.entries.len());
+        for entry in &self.entries {
+            if exclude.contains(&entry.name.as_str()) {
+                continue;
+            }
+            tables.push(Arc::new(read_table_file(
+                &self.root.join(&entry.file_name),
+            )?));
+        }
+        Ok(tables)
+    }
+
+    /// Total rows across the catalog (from cached metadata; no file reads).
+    pub fn total_rows(&self) -> usize {
+        self.entries.iter().map(|e| e.nrows).sum()
+    }
+
+    /// Total columns across the catalog.
+    pub fn total_columns(&self) -> usize {
+        self.entries.iter().map(|e| e.ncols).sum()
+    }
+}
+
+/// Read one CSV file as a [`Table`] named by its file stem, tagged with the
+/// lake directory name as its provenance source.
+pub fn read_table_file(path: &Path) -> Result<Table> {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "table".to_string());
+    let file =
+        std::fs::File::open(path).map_err(|e| LakeError::Io(format!("{}: {e}", path.display())))?;
+    let reader = std::io::BufReader::new(file);
+    let mut table = read_csv(&stem, reader, true)?;
+    if let Some(dir) = path.parent().and_then(|p| p.file_name()) {
+        table.source = dir.to_string_lossy().into_owned();
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metam-lake-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scan_profiles_and_caches() {
+        let dir = tmp_dir("scan");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\nz2,2\n").unwrap();
+        fs::write(dir.join("b.csv"), "zip,w\nz1,5\n").unwrap();
+        fs::write(dir.join("notes.txt"), "not a table").unwrap();
+
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.cache_hits(), 0);
+        assert_eq!(cat.cache_misses(), 2);
+        assert_eq!(cat.get("a").unwrap().nrows, 2);
+        assert_eq!(cat.total_rows(), 3);
+        assert_eq!(cat.total_columns(), 4);
+
+        // Second scan: everything unchanged ⇒ all hits.
+        let cat2 = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cat2.cache_hits(), 2);
+        assert_eq!(cat2.cache_misses(), 0);
+        assert_eq!(cat2.entries(), cat.entries());
+
+        // Touch one file with different content size ⇒ one miss.
+        fs::write(dir.join("b.csv"), "zip,w\nz1,5\nz9,6\n").unwrap();
+        let cat3 = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cat3.cache_misses(), 1);
+        assert_eq!(cat3.cache_hits(), 1);
+        assert_eq!(cat3.get("b").unwrap().nrows, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_stems_are_rejected() {
+        let dir = tmp_dir("stems");
+        fs::write(dir.join("trips.csv"), "x\n1\n").unwrap();
+        fs::write(dir.join("trips.CSV"), "y\n2\n").unwrap();
+        assert!(matches!(
+            LakeCatalog::scan(&dir),
+            Err(LakeError::BadArgument(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn removed_files_drop_out() {
+        let dir = tmp_dir("remove");
+        fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
+        fs::write(dir.join("b.csv"), "y\n2\n").unwrap();
+        assert_eq!(LakeCatalog::scan(&dir).unwrap().len(), 2);
+        fs::remove_file(dir.join("b.csv")).unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get("b").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_heals() {
+        let dir = tmp_dir("heal");
+        fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
+        LakeCatalog::scan(&dir).unwrap();
+        fs::write(LakeCatalog::manifest_path(&dir), "garbage\nmore garbage").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.cache_misses(), 1, "corrupt cache forces re-profiling");
+        // And the manifest is valid again.
+        let cat2 = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cat2.cache_hits(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_table_reads_data_and_source() {
+        let dir = tmp_dir("load");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        let t = cat.load_table("a").unwrap();
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(t.name, "a");
+        assert!(!t.source.is_empty(), "source tag comes from the lake dir");
+        assert!(matches!(
+            cat.load_table("nope"),
+            Err(LakeError::UnknownTable(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_all_except_skips_din() {
+        let dir = tmp_dir("except");
+        fs::write(dir.join("din.csv"), "k,y\na,1\n").unwrap();
+        fs::write(dir.join("ext.csv"), "k,v\na,2\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        let tables = cat.load_all_except(&["din"]).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name, "ext");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,413 @@
+//! The `metam` command-line interface.
+//!
+//! ```text
+//! metam demo <dir> [--seed N]              seed a synthetic CSV lake
+//! metam scan <dir>                         build/refresh the catalog
+//! metam profile <dir> [--table NAME]       show cached column statistics
+//! metam discover <dir> --din NAME --task kind:target [options]
+//! ```
+//!
+//! `discover` runs the full goal-oriented pipeline over the lake and
+//! reports the selected augmentations together with the query-budget
+//! accounting (queries used, remaining, stop reason) so real-lake runs are
+//! debuggable.
+
+use metam_core::{Metam, MetamConfig, StopReason};
+use metam_datagen::repo::price_classification;
+
+use crate::catalog::read_table_file;
+use crate::prepare::{parse_task, prepare_from_catalog, LakeOptions};
+use crate::{export_scenario, LakeCatalog, LakeError, Result};
+
+const USAGE: &str = "\
+usage: metam <command> [args]
+
+commands:
+  demo <dir> [--seed N]       write a synthetic demo lake (price scenario)
+  scan <dir>                  scan a directory of CSVs into a catalog
+  profile <dir> [--table T]   print cached per-column statistics
+  discover <dir> --din NAME --task kind:target
+           [--theta T] [--budget N] [--seed N]
+           [--max-candidates N] [--sample N]
+                              run goal-oriented discovery over the lake
+
+task kinds: classification:<column> | regression:<column>
+`--din` accepts a catalog table name or a path to a CSV file.";
+
+/// Parsed flag list: positional args + `--key value` pairs.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| LakeError::BadArgument(format!("flag --{key} needs a value")))?;
+                pairs.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+                LakeError::BadArgument(format!("--{key} needs a number, got {raw:?}"))
+            }),
+        }
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<()> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(LakeError::BadArgument(format!("unknown flag --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the CLI on `args` (without the program name). Returns the exit code.
+pub fn run(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<()> {
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return Err(LakeError::BadArgument("no command given".into()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "demo" => cmd_demo(rest),
+        "scan" => cmd_scan(rest),
+        "profile" => cmd_profile(rest),
+        "discover" => cmd_discover(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("{USAGE}");
+            Err(LakeError::BadArgument(format!("unknown command {other:?}")))
+        }
+    }
+}
+
+fn lake_dir(flags: &Flags) -> Result<&str> {
+    flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| LakeError::BadArgument("missing <dir> argument".into()))
+}
+
+fn cmd_demo(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["seed"])?;
+    let dir = lake_dir(&flags)?;
+    let seed = flags.get_num::<u64>("seed")?.unwrap_or(7);
+    let scenario = price_classification(seed);
+    let report = export_scenario(&scenario, dir)?;
+    println!(
+        "wrote demo lake to {dir}: din.csv + {} tables (seed {seed})",
+        report.table_files.len()
+    );
+    println!(
+        "next: metam scan {dir} && metam discover {dir} --din din --task classification:label"
+    );
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[])?;
+    let dir = lake_dir(&flags)?;
+    let catalog = LakeCatalog::scan(dir)?;
+    println!("{:<24} {:>8} {:>6}", "table", "rows", "cols");
+    for entry in catalog.entries() {
+        println!("{:<24} {:>8} {:>6}", entry.name, entry.nrows, entry.ncols);
+    }
+    println!(
+        "{} tables, {} rows, {} columns | profile cache: {} hit(s), {} miss(es)",
+        catalog.len(),
+        catalog.total_rows(),
+        catalog.total_columns(),
+        catalog.cache_hits(),
+        catalog.cache_misses(),
+    );
+    println!(
+        "catalog: {}",
+        LakeCatalog::manifest_path(catalog.root()).display()
+    );
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["table"])?;
+    let dir = lake_dir(&flags)?;
+    let catalog = LakeCatalog::scan(dir)?;
+    let only = flags.get("table");
+    if let Some(name) = only {
+        if catalog.get(name).is_none() {
+            return Err(LakeError::UnknownTable(name.to_string()));
+        }
+    }
+    for entry in catalog.entries() {
+        if only.is_some_and(|n| n != entry.name) {
+            continue;
+        }
+        println!("\n== {} ({} rows) ==", entry.name, entry.nrows);
+        println!(
+            "{:<20} {:>6} {:>7} {:>9} {:>11} {:>11} {:>11}",
+            "column", "type", "nulls", "distinct", "min", "max", "mean"
+        );
+        for (i, c) in entry.columns.iter().enumerate() {
+            println!(
+                "{:<20} {:>6} {:>7} {:>9} {:>11} {:>11} {:>11}",
+                c.display_name(i),
+                crate::stats::dtype_to_str(c.dtype),
+                c.null_count,
+                c.distinct_count,
+                fmt_opt(c.min),
+                fmt_opt(c.max),
+                fmt_opt(c.mean),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}"))
+        .unwrap_or_else(|| "-".to_string())
+}
+
+fn cmd_discover(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "din",
+        "task",
+        "theta",
+        "budget",
+        "seed",
+        "max-candidates",
+        "sample",
+    ])?;
+    let dir = lake_dir(&flags)?;
+    let din_arg = flags
+        .get("din")
+        .ok_or_else(|| LakeError::BadArgument("discover needs --din".into()))?
+        .to_string();
+    let task_spec = flags
+        .get("task")
+        .ok_or_else(|| LakeError::BadArgument("discover needs --task kind:target".into()))?
+        .to_string();
+    let theta = flags.get_num::<f64>("theta")?;
+    let budget = flags.get_num::<usize>("budget")?.unwrap_or(300);
+    let seed = flags.get_num::<u64>("seed")?.unwrap_or(0);
+
+    let catalog = LakeCatalog::scan(dir)?;
+    println!(
+        "lake {dir}: {} tables ({} cache hits, {} misses)",
+        catalog.len(),
+        catalog.cache_hits(),
+        catalog.cache_misses()
+    );
+
+    // `--din` is a catalog table name or a CSV path. Only a catalog-owned
+    // input dataset is withheld from the repository (it must not join with
+    // itself); an external file leaves every lake table in play, even one
+    // that happens to share its name.
+    let (din, din_from_catalog) = if catalog.get(&din_arg).is_some() {
+        (catalog.load_table(&din_arg)?, true)
+    } else if std::path::Path::new(&din_arg).is_file() {
+        (read_table_file(std::path::Path::new(&din_arg))?, false)
+    } else {
+        return Err(LakeError::UnknownTable(din_arg.clone()));
+    };
+    println!(
+        "din {:?}: {} rows × {} columns",
+        din.name,
+        din.nrows(),
+        din.ncols()
+    );
+
+    let parsed = parse_task(&task_spec, seed)?;
+    let (task, target) = (parsed.task, parsed.target);
+    if parsed.kind == crate::prepare::TaskKind::Regression {
+        if let Ok(col) = din.column_by_name(&target) {
+            if col.dtype() == metam_table::DataType::Str {
+                eprintln!(
+                    "warning: regression target {target:?} is a string column — utility will \
+                     likely be 0; did you mean classification:{target}?"
+                );
+            }
+        }
+    }
+    let mut options = LakeOptions {
+        seed,
+        target: Some(target),
+        exclude_tables: if din_from_catalog { None } else { Some(vec![]) },
+        ..Default::default()
+    };
+    if let Some(n) = flags.get_num::<usize>("max-candidates")? {
+        options.max_candidates = n;
+    }
+    if let Some(n) = flags.get_num::<usize>("sample")? {
+        options.profile_sample = n;
+    }
+
+    let prepared = prepare_from_catalog(&catalog, din, task, &options)?;
+    println!(
+        "{} candidate augmentations discovered",
+        prepared.candidates.len()
+    );
+
+    let config = MetamConfig {
+        theta,
+        max_queries: budget,
+        seed,
+        ..Default::default()
+    };
+    let result = Metam::new(config).run(&prepared.inputs());
+
+    println!(
+        "\nutility: {:.4} (base {:.4}, gain {:+.4})",
+        result.utility,
+        result.base_utility,
+        result.utility - result.base_utility
+    );
+    println!(
+        "queries: {} used / {} budget ({} remaining)",
+        result.queries,
+        result.budget,
+        result.queries_remaining()
+    );
+    println!("stop reason: {}", stop_reason_label(result.stop_reason));
+    if result.selected.is_empty() {
+        println!("selected: (no augmentation improved the task)");
+    } else {
+        println!("selected {} augmentation(s):", result.selected.len());
+        for &id in &result.selected {
+            let c = &prepared.candidates[id];
+            println!("  [{id}] {}", c.name);
+        }
+    }
+    Ok(())
+}
+
+/// Human-readable stop reason (satellite: budget accounting must be
+/// observable from the CLI).
+pub fn stop_reason_label(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::ThetaReached => "theta reached (target utility met)",
+        StopReason::BudgetExhausted => "budget exhausted (query limit hit)",
+        StopReason::Exhausted => "exhausted (no candidate improves further)",
+        StopReason::MaxRounds => "max rounds (safety bound hit)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_lake(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("metam-cli-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scan_and_profile_commands_work() {
+        let dir = tmp_lake("cmd");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\nz2,2\n").unwrap();
+        let d = dir.to_string_lossy().into_owned();
+        assert_eq!(run(&strs(&["scan", &d])), 0);
+        assert_eq!(run(&strs(&["profile", &d])), 0);
+        assert_eq!(run(&strs(&["profile", &d, "--table", "a"])), 0);
+        assert_eq!(run(&strs(&["profile", &d, "--table", "zzz"])), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_arguments_fail_cleanly() {
+        assert_eq!(run(&strs(&[])), 2);
+        assert_eq!(run(&strs(&["frobnicate"])), 2);
+        assert_eq!(run(&strs(&["scan"])), 2);
+        assert_eq!(run(&strs(&["discover", "/nonexistent", "--task", "x"])), 2);
+        let dir = tmp_lake("badflag");
+        fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
+        let d = dir.to_string_lossy().into_owned();
+        assert_eq!(run(&strs(&["scan", &d, "--bogus", "1"])), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn demo_then_discover_end_to_end() {
+        let dir = tmp_lake("e2e");
+        let d = dir.to_string_lossy().into_owned();
+        assert_eq!(run(&strs(&["demo", &d, "--seed", "7"])), 0);
+        assert_eq!(run(&strs(&["scan", &d])), 0);
+        assert_eq!(
+            run(&strs(&[
+                "discover",
+                &d,
+                "--din",
+                "din",
+                "--task",
+                "classification:label",
+                "--budget",
+                "60",
+                "--seed",
+                "7",
+            ])),
+            0
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_reasons_have_labels() {
+        for r in [
+            StopReason::ThetaReached,
+            StopReason::BudgetExhausted,
+            StopReason::Exhausted,
+            StopReason::MaxRounds,
+        ] {
+            assert!(!stop_reason_label(r).is_empty());
+        }
+    }
+}

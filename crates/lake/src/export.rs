@@ -1,0 +1,172 @@
+//! Export a `metam-datagen` scenario as an on-disk CSV lake.
+//!
+//! This is the bridge between the synthetic world and the lake subsystem:
+//! write `din.csv` plus one CSV per repository table, then `scan` +
+//! `discover` the directory as if it were real open data. Because the
+//! scenario carries planted ground truth, the round trip is
+//! self-validating — discovery over the exported lake must recover the
+//! planted augmentations (see `tests/lake_roundtrip.rs`).
+//!
+//! Known fidelity limit: the CSV layer is typed by value, so *string*
+//! cells spelling a null marker (`"NA"`, `"null"`, `"none"`, `"-"`, the
+//! empty string) read back as nulls, and numeric-looking strings re-type
+//! to numbers. Join keys are unaffected (key normalization equates the
+//! spellings); datagen's planted signal columns are numeric, so the
+//! round-trip guarantee holds for every generated scenario.
+
+use std::path::{Path, PathBuf};
+
+use metam_datagen::Scenario;
+use metam_table::csv::write_csv;
+use metam_table::Table;
+
+use crate::{LakeError, Result};
+
+/// Where an exported scenario landed.
+#[derive(Debug, Clone)]
+pub struct ExportReport {
+    /// Path of the exported input dataset (`din.csv`).
+    pub din_path: PathBuf,
+    /// `(table name, file path)` for every exported repository table.
+    pub table_files: Vec<(String, PathBuf)>,
+}
+
+/// Make a table name safe as a file stem (the stem must round-trip back to
+/// the table name, so only conservative characters survive).
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "table".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn write_table(dir: &Path, stem: &str, table: &Table) -> Result<PathBuf> {
+    let path = dir.join(format!("{stem}.csv"));
+    let file = std::fs::File::create(&path)
+        .map_err(|e| LakeError::Io(format!("{}: {e}", path.display())))?;
+    write_csv(table, std::io::BufWriter::new(file))?;
+    Ok(path)
+}
+
+/// Write `scenario` into `dir` as a CSV lake: `din.csv` plus one file per
+/// repository table. Union-side tables (`scenario.union_tables`) are task
+/// internals, not repository members, and are not exported.
+///
+/// Table names that sanitize to the same file stem are an error — the stem
+/// *is* the catalog name, so a collision would silently merge two tables.
+/// Stems are compared case-insensitively: `Crime.csv` and `crime.csv` are
+/// one file on the case-insensitive filesystems of macOS and Windows.
+pub fn export_scenario(scenario: &Scenario, dir: impl AsRef<Path>) -> Result<ExportReport> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let mut used: Vec<String> = vec!["din".to_string()];
+    let mut table_files = Vec::with_capacity(scenario.tables.len());
+    for table in &scenario.tables {
+        let stem = sanitize(&table.name);
+        let folded = stem.to_ascii_lowercase();
+        if used.contains(&folded) {
+            return Err(LakeError::BadArgument(format!(
+                "table name collision after sanitizing: {stem:?}"
+            )));
+        }
+        used.push(folded);
+        let path = write_table(dir, &stem, table)?;
+        table_files.push((table.name.clone(), path));
+    }
+    let din_path = write_table(dir, "din", &scenario.din)?;
+    Ok(ExportReport {
+        din_path,
+        table_files,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metam-export-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_writes_every_table() {
+        let dir = tmp_dir("all");
+        let scenario = build_supervised(&SupervisedConfig {
+            n_rows: 60,
+            n_informative: 1,
+            n_irrelevant_tables: 2,
+            n_erroneous_tables: 1,
+            ..Default::default()
+        });
+        let report = export_scenario(&scenario, &dir).unwrap();
+        assert!(report.din_path.exists());
+        assert_eq!(report.table_files.len(), scenario.tables.len());
+        for (_, path) in &report.table_files {
+            assert!(path.exists());
+        }
+        // The exported din re-reads with the same shape.
+        let din = crate::catalog::read_table_file(&report.din_path).unwrap();
+        assert_eq!(din.nrows(), scenario.din.nrows());
+        assert_eq!(din.ncols(), scenario.din.ncols());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn case_folded_stem_collision_is_rejected() {
+        use metam_datagen::{GroundTruth, Scenario, TaskSpec};
+        use metam_table::{Column, Table};
+        use std::sync::Arc;
+
+        let mk = |name: &str| {
+            Arc::new(
+                Table::from_columns(
+                    name,
+                    vec![Column::from_ints(Some("k".into()), vec![Some(1)])],
+                )
+                .unwrap(),
+            )
+        };
+        let scenario = Scenario {
+            name: "collision".into(),
+            din: Table::from_columns(
+                "d",
+                vec![Column::from_ints(Some("k".into()), vec![Some(1)])],
+            )
+            .unwrap(),
+            tables: vec![mk("Crime"), mk("crime")],
+            spec: TaskSpec::Classification { target: "k".into() },
+            ground_truth: GroundTruth::default(),
+            union_tables: Vec::new(),
+            eval_table: None,
+        };
+        let dir = tmp_dir("collide");
+        assert!(matches!(
+            export_scenario(&scenario, &dir),
+            Err(LakeError::BadArgument(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_keeps_safe_names() {
+        assert_eq!(sanitize("crime_stats-2021.v2"), "crime_stats-2021.v2");
+        assert_eq!(sanitize("weird name/slash"), "weird_name_slash");
+        assert_eq!(sanitize(""), "table");
+    }
+}

@@ -1,0 +1,95 @@
+//! # metam-lake
+//!
+//! The on-disk data-lake layer: point goal-oriented discovery at a
+//! **directory of CSV files** instead of an in-memory synthetic scenario.
+//!
+//! Pieces:
+//!
+//! * [`catalog`] — a [`LakeCatalog`] that scans a directory, registers
+//!   every CSV with schema metadata and per-column summary statistics
+//!   ([`stats::ColumnStats`]), and persists a manifest + profile cache
+//!   under `<lake>/.metam/` so repeated scans skip re-profiling files
+//!   whose size and mtime are unchanged,
+//! * [`prepare`] — [`prepare_from_catalog`]: plug a catalog into the
+//!   existing `DiscoveryIndex` → `generate_candidates` → `ProfileSet` →
+//!   `QueryEngine` flow with a user-supplied input dataset and
+//!   [`Task`](metam_core::Task),
+//! * [`export`] — write a `metam-datagen` scenario out *as* a CSV lake
+//!   (the `datagen → lake → rediscover` round trip is the subsystem's
+//!   self-validating integration test),
+//! * [`cli`] — the `metam` binary: `scan`, `profile` and `discover`
+//!   subcommands running end-to-end over a directory.
+//!
+//! ```no_run
+//! use metam_lake::{parse_task, prepare_from_catalog, LakeCatalog, LakeOptions};
+//!
+//! let catalog = LakeCatalog::scan("./lake")?;
+//! let din = catalog.load_table("din")?;
+//! let parsed = parse_task("classification:label", 7)?;
+//! let options = LakeOptions { target: Some(parsed.target), ..Default::default() };
+//! let prepared = prepare_from_catalog(&catalog, din, parsed.task, &options)?;
+//! let result = metam_core::Metam::default().run(&prepared.inputs());
+//! # Ok::<(), metam_lake::LakeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cli;
+pub mod export;
+pub mod manifest;
+pub mod prepare;
+pub mod stats;
+
+pub use catalog::{LakeCatalog, TableMeta};
+pub use export::export_scenario;
+pub use prepare::{
+    parse_task, prepare_from_catalog, LakeOptions, ParsedTask, PreparedLake, TaskKind,
+};
+pub use stats::ColumnStats;
+
+use std::fmt;
+
+/// Errors raised by lake operations.
+#[derive(Debug)]
+pub enum LakeError {
+    /// Filesystem access failed.
+    Io(String),
+    /// A CSV file failed to parse.
+    Table(metam_table::TableError),
+    /// The persisted manifest is malformed.
+    Manifest(String),
+    /// A referenced table is not in the catalog.
+    UnknownTable(String),
+    /// A user-facing argument (task spec, flag) is invalid.
+    BadArgument(String),
+}
+
+impl fmt::Display for LakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeError::Io(m) => write!(f, "io error: {m}"),
+            LakeError::Table(e) => write!(f, "table error: {e}"),
+            LakeError::Manifest(m) => write!(f, "manifest error: {m}"),
+            LakeError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            LakeError::BadArgument(m) => write!(f, "bad argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LakeError {}
+
+impl From<metam_table::TableError> for LakeError {
+    fn from(e: metam_table::TableError) -> LakeError {
+        LakeError::Table(e)
+    }
+}
+
+impl From<std::io::Error> for LakeError {
+    fn from(e: std::io::Error) -> LakeError {
+        LakeError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, LakeError>;

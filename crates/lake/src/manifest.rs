@@ -1,0 +1,285 @@
+//! The persisted catalog manifest — the lake's on-disk profile cache.
+//!
+//! A line-oriented, dependency-free format under `<lake>/.metam/catalog.tsv`:
+//!
+//! ```text
+//! metam-lake-catalog v1
+//! table <name> <file> <size> <mtime_s> <mtime_ns> <nrows> <ncols>
+//! col <dtype> <nulls> <distinct> <min> <max> <mean> <std> <name>
+//! ```
+//!
+//! Fields are tab-separated; names are backslash-escaped (`\t`, `\n`,
+//! `\\`); absent values render as the empty field. Column names come last
+//! on their line so an escaped tab can never shift the numeric fields.
+
+use std::path::Path;
+
+use crate::stats::{dtype_from_str, dtype_to_str, ColumnStats};
+use crate::{LakeError, Result, TableMeta};
+
+/// First line of every manifest; bump on breaking format changes.
+pub const MANIFEST_HEADER: &str = "metam-lake-catalog v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:?}")).unwrap_or_default()
+}
+
+fn parse_opt_f64(s: &str) -> Result<Option<f64>> {
+    if s.is_empty() {
+        return Ok(None);
+    }
+    s.parse::<f64>()
+        .map(Some)
+        .map_err(|_| LakeError::Manifest(format!("bad float: {s:?}")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T> {
+    s.parse::<T>()
+        .map_err(|_| LakeError::Manifest(format!("bad {what}: {s:?}")))
+}
+
+/// Render catalog entries to manifest text.
+pub fn render(entries: &[TableMeta]) -> String {
+    let mut out = String::new();
+    out.push_str(MANIFEST_HEADER);
+    out.push('\n');
+    for e in entries {
+        out.push_str(&format!(
+            "table\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            escape(&e.name),
+            escape(&e.file_name),
+            e.file_size,
+            e.mtime_s,
+            e.mtime_ns,
+            e.nrows,
+            e.ncols,
+        ));
+        for c in &e.columns {
+            out.push_str(&format!(
+                "col\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                dtype_to_str(c.dtype),
+                c.null_count,
+                c.distinct_count,
+                opt_f64(c.min),
+                opt_f64(c.max),
+                opt_f64(c.mean),
+                opt_f64(c.std),
+                c.name.as_deref().map(escape).unwrap_or_default(),
+            ));
+        }
+    }
+    out
+}
+
+/// Parse manifest text back into catalog entries.
+pub fn parse(text: &str) -> Result<Vec<TableMeta>> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == MANIFEST_HEADER => {}
+        Some(h) => {
+            return Err(LakeError::Manifest(format!(
+                "unsupported manifest version: {h:?}"
+            )))
+        }
+        None => return Ok(Vec::new()),
+    }
+    let mut entries: Vec<TableMeta> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "table" => {
+                if fields.len() != 8 {
+                    return Err(LakeError::Manifest(format!(
+                        "line {}: table record needs 8 fields, got {}",
+                        lineno + 2,
+                        fields.len()
+                    )));
+                }
+                entries.push(TableMeta {
+                    name: unescape(fields[1]),
+                    file_name: unescape(fields[2]),
+                    file_size: parse_num(fields[3], "size")?,
+                    mtime_s: parse_num(fields[4], "mtime")?,
+                    mtime_ns: parse_num(fields[5], "mtime")?,
+                    nrows: parse_num(fields[6], "nrows")?,
+                    ncols: parse_num(fields[7], "ncols")?,
+                    columns: Vec::new(),
+                });
+            }
+            "col" => {
+                // An escaped name can itself contain no tabs (escaped), so
+                // any extra fields mean corruption.
+                if fields.len() != 9 {
+                    return Err(LakeError::Manifest(format!(
+                        "line {}: col record needs 9 fields, got {}",
+                        lineno + 2,
+                        fields.len()
+                    )));
+                }
+                let entry = entries.last_mut().ok_or_else(|| {
+                    LakeError::Manifest(format!("line {}: col before any table", lineno + 2))
+                })?;
+                let name = if fields[8].is_empty() {
+                    None
+                } else {
+                    Some(unescape(fields[8]))
+                };
+                entry.columns.push(ColumnStats {
+                    name,
+                    dtype: dtype_from_str(fields[1]).ok_or_else(|| {
+                        LakeError::Manifest(format!("bad dtype: {:?}", fields[1]))
+                    })?,
+                    null_count: parse_num(fields[2], "null_count")?,
+                    distinct_count: parse_num(fields[3], "distinct_count")?,
+                    min: parse_opt_f64(fields[4])?,
+                    max: parse_opt_f64(fields[5])?,
+                    mean: parse_opt_f64(fields[6])?,
+                    std: parse_opt_f64(fields[7])?,
+                });
+            }
+            other => {
+                return Err(LakeError::Manifest(format!(
+                    "line {}: unknown record kind {other:?}",
+                    lineno + 2
+                )))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Load a manifest file; a missing file is an empty catalog.
+pub fn load(path: &Path) -> Result<Vec<TableMeta>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Persist a manifest file, creating the parent directory.
+pub fn store(path: &Path, entries: &[TableMeta]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(entries))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_table::DataType;
+
+    fn sample_entry() -> TableMeta {
+        TableMeta {
+            name: "crime\tstats".into(),
+            file_name: "crime stats.csv".into(),
+            file_size: 123,
+            mtime_s: 1_700_000_000,
+            mtime_ns: 42,
+            nrows: 10,
+            ncols: 2,
+            columns: vec![
+                ColumnStats {
+                    name: Some("zip\ncode".into()),
+                    dtype: DataType::Str,
+                    null_count: 1,
+                    distinct_count: 9,
+                    min: None,
+                    max: None,
+                    mean: None,
+                    std: None,
+                },
+                ColumnStats {
+                    name: None,
+                    dtype: DataType::Float,
+                    null_count: 0,
+                    distinct_count: 10,
+                    min: Some(-1.5),
+                    max: Some(2.25),
+                    mean: Some(0.1),
+                    std: Some(1.0000000000000002),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let entries = vec![sample_entry()];
+        let text = render(&entries);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let text = render(&[sample_entry()]);
+        let back = parse(&text).unwrap();
+        assert_eq!(back[0].columns[1].std, Some(1.0000000000000002));
+    }
+
+    #[test]
+    fn empty_text_is_empty_catalog() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse(MANIFEST_HEADER).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        assert!(matches!(
+            parse("metam-lake-catalog v0\n"),
+            Err(LakeError::Manifest(_))
+        ));
+    }
+
+    #[test]
+    fn col_before_table_rejected() {
+        let text = format!("{MANIFEST_HEADER}\ncol\tint\t0\t0\t\t\t\t\t\n");
+        assert!(matches!(parse(&text), Err(LakeError::Manifest(_))));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let text = format!("{MANIFEST_HEADER}\ntable\tt\tt.csv\t1\t2\n");
+        assert!(matches!(parse(&text), Err(LakeError::Manifest(_))));
+    }
+}

@@ -1,0 +1,324 @@
+//! Plug a [`LakeCatalog`] into the discovery → profiles → search flow.
+//!
+//! [`prepare_from_catalog`] is the lake-side twin of the umbrella crate's
+//! `pipeline::prepare`: instead of a synthetic [`Scenario`] it takes a
+//! scanned directory, an input dataset and a **user-supplied task**, and
+//! assembles the `SearchInputs` bundle every search method consumes.
+
+use std::sync::Arc;
+
+use metam_core::engine::SearchInputs;
+use metam_core::Task;
+use metam_discovery::path::PathConfig;
+use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
+use metam_profile::{default_profiles, ProfileSet};
+use metam_table::Table;
+use metam_tasks::classification::ClassificationTask;
+use metam_tasks::regression::RegressionTask;
+
+use crate::{LakeCatalog, LakeError, Result};
+
+/// Knobs for [`prepare_from_catalog`] (mirrors `pipeline::PrepareOptions`,
+/// plus the target-column name a real lake cannot infer).
+#[derive(Debug, Clone)]
+pub struct LakeOptions {
+    /// Join-path enumeration limits.
+    pub path: PathConfig,
+    /// Cap on generated candidates.
+    pub max_candidates: usize,
+    /// Rows sampled for profile estimation (paper: 100).
+    pub profile_sample: usize,
+    /// Seed for sampling and profile estimation.
+    pub seed: u64,
+    /// Name of the task's target column in the input dataset, when the
+    /// task is supervised — resolved for target-aware profiles and the
+    /// iARDA baseline.
+    pub target: Option<String>,
+    /// Catalog tables to withhold from the repository, by name. `None`
+    /// (the default) withholds the table named like the input dataset —
+    /// right when `din` was loaded *from* the catalog, which must not
+    /// join with itself. Pass `Some(vec![])` when `din` is external to
+    /// the lake, so a lake table that merely shares its name still
+    /// participates in discovery.
+    pub exclude_tables: Option<Vec<String>>,
+}
+
+impl Default for LakeOptions {
+    fn default() -> Self {
+        LakeOptions {
+            path: PathConfig::default(),
+            max_candidates: 100_000,
+            profile_sample: 100,
+            seed: 0,
+            target: None,
+            exclude_tables: None,
+        }
+    }
+}
+
+/// A lake with everything materialized for searching. Owns the input
+/// dataset, candidates, profiles and task; borrow [`inputs`](Self::inputs)
+/// to run any search method.
+pub struct PreparedLake {
+    /// The input dataset.
+    pub din: Table,
+    /// Index of the target column in `din`, if supervised.
+    pub target_column: Option<usize>,
+    /// Candidate augmentations discovered in the lake.
+    pub candidates: Vec<Candidate>,
+    /// Profile vectors per candidate.
+    pub profiles: Vec<Vec<f64>>,
+    /// Profile names.
+    pub profile_names: Vec<String>,
+    /// Materializer over the lake tables.
+    pub materializer: Materializer,
+    /// The downstream task.
+    pub task: Box<dyn Task>,
+}
+
+impl PreparedLake {
+    /// Borrow as the search-input bundle every method consumes.
+    pub fn inputs(&self) -> SearchInputs<'_> {
+        SearchInputs {
+            din: &self.din,
+            target_column: self.target_column,
+            candidates: &self.candidates,
+            profiles: &self.profiles,
+            profile_names: &self.profile_names,
+            materializer: &self.materializer,
+            task: self.task.as_ref(),
+        }
+    }
+}
+
+/// [`prepare_from_catalog_with`] using the paper's default profile set.
+pub fn prepare_from_catalog(
+    catalog: &LakeCatalog,
+    din: Table,
+    task: Box<dyn Task>,
+    options: &LakeOptions,
+) -> Result<PreparedLake> {
+    prepare_from_catalog_with(catalog, din, task, default_profiles(), options)
+}
+
+/// Full lake assembly: load every catalog table (minus the input dataset
+/// itself), index, enumerate candidates, evaluate profiles, bundle.
+pub fn prepare_from_catalog_with(
+    catalog: &LakeCatalog,
+    din: Table,
+    task: Box<dyn Task>,
+    profile_set: ProfileSet,
+    options: &LakeOptions,
+) -> Result<PreparedLake> {
+    if let Some(target) = options.target.as_deref() {
+        if din.column_index(target).is_err() {
+            return Err(LakeError::BadArgument(format!(
+                "target column {target:?} not found in input dataset {:?}",
+                din.name
+            )));
+        }
+    }
+    let excluded: Vec<&str> = match &options.exclude_tables {
+        Some(names) => names.iter().map(String::as_str).collect(),
+        None => vec![din.name.as_str()],
+    };
+    let tables: Vec<Arc<Table>> = catalog.load_all_except(&excluded)?;
+    let index = DiscoveryIndex::build(tables.clone());
+    let candidates = generate_candidates(&din, &index, &options.path, options.max_candidates);
+    let materializer = Materializer::new(tables);
+    let target_column = options
+        .target
+        .as_deref()
+        .and_then(|t| din.column_index(t).ok());
+    let profiles = profile_set.evaluate_all(
+        &din,
+        target_column,
+        &candidates,
+        &materializer,
+        options.profile_sample,
+        options.seed,
+    );
+    let profile_names = profile_set.names().into_iter().map(String::from).collect();
+    Ok(PreparedLake {
+        din,
+        target_column,
+        candidates,
+        profiles,
+        profile_names,
+        materializer,
+        task,
+    })
+}
+
+/// A CLI-parsable task kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Random-forest classification on a named target.
+    Classification,
+    /// Random-forest regression on a named target.
+    Regression,
+}
+
+/// A task parsed from a CLI spec: the boxed task, its target column, and
+/// the recognized kind (so callers never re-parse the spec string).
+pub struct ParsedTask {
+    /// The instantiated task.
+    pub task: Box<dyn Task>,
+    /// Target column name in the input dataset.
+    pub target: String,
+    /// Which kind the spec named.
+    pub kind: TaskKind,
+}
+
+/// Parse a CLI task spec `kind:target` into a task plus its target column.
+///
+/// Supported kinds (the tasks trainable on any table, no ground truth
+/// needed): `classification:<column>` and `regression:<column>`.
+pub fn parse_task(spec: &str, seed: u64) -> Result<ParsedTask> {
+    let (kind, target) = spec.split_once(':').ok_or_else(|| {
+        LakeError::BadArgument(format!(
+            "task spec must be kind:target (e.g. classification:label), got {spec:?}"
+        ))
+    })?;
+    let target = target.trim();
+    if target.is_empty() {
+        return Err(LakeError::BadArgument(
+            "task spec has an empty target".into(),
+        ));
+    }
+    let (task, kind): (Box<dyn Task>, TaskKind) = match kind.trim() {
+        "classification" => (
+            Box::new(ClassificationTask::new(target, seed)),
+            TaskKind::Classification,
+        ),
+        "regression" => (
+            Box::new(RegressionTask::new(target, seed)),
+            TaskKind::Regression,
+        ),
+        other => {
+            return Err(LakeError::BadArgument(format!(
+                "unknown task kind {other:?} (expected classification or regression)"
+            )))
+        }
+    };
+    Ok(ParsedTask {
+        task,
+        target: target.into(),
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_lake(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metam-prepare-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn prepare_assembles_aligned_artifacts() {
+        let dir = tmp_lake("ok");
+        let din_rows: String = (0..40)
+            .map(|i| format!("z{i},{}\n", if i % 2 == 0 { "a" } else { "b" }))
+            .collect();
+        fs::write(dir.join("din.csv"), format!("zip,label\n{din_rows}")).unwrap();
+        let ext_rows: String = (0..40).map(|i| format!("z{i},{}\n", i as f64)).collect();
+        fs::write(dir.join("ext.csv"), format!("zipcode,rate\n{ext_rows}")).unwrap();
+
+        let catalog = LakeCatalog::scan(&dir).unwrap();
+        let din = catalog.load_table("din").unwrap();
+        let ParsedTask { task, target, .. } = parse_task("classification:label", 3).unwrap();
+        let options = LakeOptions {
+            target: Some(target),
+            seed: 3,
+            ..Default::default()
+        };
+        let prepared = prepare_from_catalog(&catalog, din, task, &options).unwrap();
+
+        assert!(
+            !prepared.candidates.is_empty(),
+            "ext.rate must be discovered"
+        );
+        assert_eq!(prepared.candidates.len(), prepared.profiles.len());
+        assert_eq!(prepared.profile_names.len(), 5);
+        assert_eq!(prepared.target_column, Some(1));
+        // The din table itself must not appear as a candidate source.
+        assert!(prepared.candidates.iter().all(|c| c.source_table != "din"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_din_keeps_same_named_lake_table_in_play() {
+        let dir = tmp_lake("external");
+        // The lake owns a table also called "din" — different data.
+        let rows: String = (0..30).map(|i| format!("z{i},{}\n", i as f64)).collect();
+        fs::write(dir.join("din.csv"), format!("zipcode,rate\n{rows}")).unwrap();
+        // The *external* input dataset shares the stem but lives elsewhere.
+        let ext_dir = tmp_lake("external-home");
+        let ext = ext_dir.join("din.csv");
+        let din_rows: String = (0..30)
+            .map(|i| format!("z{i},{}\n", if i % 2 == 0 { "a" } else { "b" }))
+            .collect();
+        fs::write(&ext, format!("zip,label\n{din_rows}")).unwrap();
+
+        let catalog = LakeCatalog::scan(&dir).unwrap();
+        let din = crate::catalog::read_table_file(&ext).unwrap();
+        assert_eq!(din.name, "din", "stems collide by construction");
+        let ParsedTask { task, target, .. } = parse_task("classification:label", 0).unwrap();
+        let options = LakeOptions {
+            target: Some(target),
+            exclude_tables: Some(vec![]),
+            ..Default::default()
+        };
+        let prepared = prepare_from_catalog(&catalog, din, task, &options).unwrap();
+        assert!(
+            prepared.candidates.iter().any(|c| c.source_table == "din"),
+            "the lake's own 'din' table must still be a candidate source"
+        );
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&ext_dir);
+    }
+
+    #[test]
+    fn missing_target_is_a_clear_error() {
+        let dir = tmp_lake("badtarget");
+        fs::write(dir.join("din.csv"), "zip,y\nz1,1\n").unwrap();
+        let catalog = LakeCatalog::scan(&dir).unwrap();
+        let din = catalog.load_table("din").unwrap();
+        let task = parse_task("regression:y", 0).unwrap().task;
+        let options = LakeOptions {
+            target: Some("nope".into()),
+            ..Default::default()
+        };
+        assert!(matches!(
+            prepare_from_catalog(&catalog, din, task, &options),
+            Err(LakeError::BadArgument(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_task_accepts_known_kinds() {
+        assert!(parse_task("classification:label", 0).is_ok());
+        assert!(parse_task("regression: price ", 0).is_ok());
+        assert!(matches!(
+            parse_task("clustering:3", 0),
+            Err(LakeError::BadArgument(_))
+        ));
+        assert!(matches!(
+            parse_task("regression:", 0),
+            Err(LakeError::BadArgument(_))
+        ));
+        assert!(matches!(
+            parse_task("classification", 0),
+            Err(LakeError::BadArgument(_))
+        ));
+    }
+}

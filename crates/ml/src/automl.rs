@@ -59,16 +59,26 @@ impl AutoMl {
             for &depth in &[4usize, 8] {
                 let cfg = RandomForestConfig {
                     n_trees,
-                    tree: TreeConfig { max_depth: depth, ..Default::default() },
+                    tree: TreeConfig {
+                        max_depth: depth,
+                        ..Default::default()
+                    },
                     seed,
                 };
                 let forest = RandomForest::fit(&train, task, cfg);
                 let score = accuracy(&forest.predict_batch(&val.features), &val.targets);
-                consider(score, AutoMlChoice::Forest(n_trees, depth), FittedModel::Forest(forest));
+                consider(
+                    score,
+                    AutoMlChoice::Forest(n_trees, depth),
+                    FittedModel::Forest(forest),
+                );
             }
         }
         for &depth in &[6usize, 10] {
-            let cfg = TreeConfig { max_depth: depth, ..Default::default() };
+            let cfg = TreeConfig {
+                max_depth: depth,
+                ..Default::default()
+            };
             let tree = DecisionTree::fit(&train, task, cfg, seed);
             let score = accuracy(&tree.predict_batch(&val.features), &val.targets);
             consider(score, AutoMlChoice::Tree(depth), FittedModel::Tree(tree));
@@ -82,7 +92,11 @@ impl AutoMl {
 
         let (validation_score, choice, model) =
             best.expect("grid always evaluates at least one model");
-        AutoMl { model, choice, validation_score }
+        AutoMl {
+            model,
+            choice,
+            validation_score,
+        }
     }
 
     /// Predict one row with the winning model.
@@ -143,7 +157,15 @@ mod tests {
         d.targets = d
             .features
             .iter()
-            .map(|r| if r[0] < 0.33 { 0.0 } else if r[0] < 0.66 { 1.0 } else { 2.0 })
+            .map(|r| {
+                if r[0] < 0.33 {
+                    0.0
+                } else if r[0] < 0.66 {
+                    1.0
+                } else {
+                    2.0
+                }
+            })
             .collect();
         d.n_classes = Some(3);
         let m = AutoMl::fit_classification(&d, 0);

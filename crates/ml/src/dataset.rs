@@ -57,7 +57,10 @@ impl MlDataset {
                 .iter()
                 .map(|row| cols.iter().map(|&c| row[c]).collect())
                 .collect(),
-            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
             targets: self.targets.clone(),
             n_classes: self.n_classes,
         }
@@ -69,8 +72,11 @@ impl MlDataset {
 /// own category).
 fn encode_categorical(col: &metam_table::Column) -> Vec<f64> {
     let distinct = col.distinct_keys();
-    let lookup: std::collections::HashMap<&str, usize> =
-        distinct.iter().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
+    let lookup: std::collections::HashMap<&str, usize> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_str(), i))
+        .collect();
     let missing_code = distinct.len() as f64;
     (0..col.len())
         .map(|r| {
@@ -160,7 +166,12 @@ pub fn encode_table(
             features[r][c] = v;
         }
     }
-    Ok(MlDataset { features, feature_names, targets, n_classes })
+    Ok(MlDataset {
+        features,
+        feature_names,
+        targets,
+        n_classes,
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +193,12 @@ mod tests {
                 ),
                 Column::from_strings(
                     Some("label".into()),
-                    vec![Some("hi".into()), Some("lo".into()), Some("hi".into()), None],
+                    vec![
+                        Some("hi".into()),
+                        Some("lo".into()),
+                        Some("hi".into()),
+                        None,
+                    ],
                 ),
             ],
         )

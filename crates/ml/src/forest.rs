@@ -19,7 +19,11 @@ pub struct RandomForestConfig {
 
 impl Default for RandomForestConfig {
     fn default() -> Self {
-        RandomForestConfig { n_trees: 12, tree: TreeConfig::default(), seed: 0 }
+        RandomForestConfig {
+            n_trees: 12,
+            tree: TreeConfig::default(),
+            seed: 0,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ impl RandomForest {
                 &mut rng,
             ));
         }
-        RandomForest { trees, task, n_features: data.n_features() }
+        RandomForest {
+            trees,
+            task,
+            n_features: data.n_features(),
+        }
     }
 
     /// Predict one row: majority vote (classification) or mean (regression).
@@ -164,7 +172,10 @@ mod tests {
     #[test]
     fn forest_is_deterministic() {
         let d = linear_dataset(100);
-        let cfg = RandomForestConfig { seed: 42, ..Default::default() };
+        let cfg = RandomForestConfig {
+            seed: 42,
+            ..Default::default()
+        };
         let f1 = RandomForest::fit(&d, TreeTask::Classification { n_classes: 2 }, cfg);
         let f2 = RandomForest::fit(&d, TreeTask::Classification { n_classes: 2 }, cfg);
         assert_eq!(f1.predict_batch(&d.features), f2.predict_batch(&d.features));
@@ -187,7 +198,12 @@ mod tests {
     fn regression_forest_tracks_mean() {
         let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let targets: Vec<f64> = (0..100).map(|i| i as f64 * 2.0).collect();
-        let d = MlDataset { features, feature_names: vec!["x".into()], targets, n_classes: None };
+        let d = MlDataset {
+            features,
+            feature_names: vec!["x".into()],
+            targets,
+            n_classes: None,
+        };
         let f = RandomForest::fit(&d, TreeTask::Regression, RandomForestConfig::default());
         let p = f.predict(&[50.0]);
         assert!((p - 100.0).abs() < 15.0, "p={p}");

@@ -46,14 +46,14 @@ pub fn injection_scores(
     let forest = RandomForest::fit(
         &augmented,
         task,
-        RandomForestConfig { seed: seed ^ 0x5bd1e995, ..Default::default() },
+        RandomForestConfig {
+            seed: seed ^ 0x5bd1e995,
+            ..Default::default()
+        },
     );
     let imp = forest.feature_importances();
     let real = data.n_features();
-    let noise_max = imp[real..]
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let noise_max = imp[real..].iter().copied().fold(0.0f64, f64::max);
     data.feature_names
         .iter()
         .enumerate()
@@ -94,7 +94,11 @@ mod tests {
         let mut targets = Vec::new();
         for i in 0..300 {
             let x = (i % 100) as f64 / 100.0;
-            features.push(vec![x, x + ((i * 13) % 7) as f64 * 0.02, ((i * 29) % 11) as f64]);
+            features.push(vec![
+                x,
+                x + ((i * 13) % 7) as f64 * 0.02,
+                ((i * 29) % 11) as f64,
+            ]);
             targets.push(if x > 0.5 { 1.0 } else { 0.0 });
         }
         MlDataset {

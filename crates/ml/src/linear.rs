@@ -44,7 +44,10 @@ impl Scaler {
     fn transform(&self, row: &[f64]) -> Vec<f64> {
         row.iter()
             .enumerate()
-            .map(|(j, &v)| (v - self.means.get(j).copied().unwrap_or(0.0)) / self.stds.get(j).copied().unwrap_or(1.0))
+            .map(|(j, &v)| {
+                (v - self.means.get(j).copied().unwrap_or(0.0))
+                    / self.stds.get(j).copied().unwrap_or(1.0)
+            })
             .collect()
     }
 }
@@ -76,7 +79,11 @@ impl RidgeRegression {
             let x = Matrix::from_rows(&scaled);
             ridge_solve(&x, &centered, lambda.max(1e-9)).unwrap_or_else(|| vec![0.0; d])
         };
-        RidgeRegression { weights, intercept: y_mean, scaler }
+        RidgeRegression {
+            weights,
+            intercept: y_mean,
+            scaler,
+        }
     }
 
     /// Predict one row.
@@ -137,7 +144,11 @@ impl LogisticRegression {
             }
             bias -= lr * grad_b / n;
         }
-        LogisticRegression { weights, bias, scaler }
+        LogisticRegression {
+            weights,
+            bias,
+            scaler,
+        }
     }
 
     /// Probability of class 1.
@@ -188,7 +199,10 @@ mod tests {
     #[test]
     fn logistic_separates_line() {
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
-        let targets: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let m = LogisticRegression::fit(&rows, &targets, 300);
         let acc = rows
             .iter()
@@ -202,7 +216,10 @@ mod tests {
     #[test]
     fn logistic_probability_monotone_in_signal() {
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
-        let targets: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let m = LogisticRegression::fit(&rows, &targets, 300);
         assert!(m.predict_proba(&[0.9]) > m.predict_proba(&[0.1]));
     }

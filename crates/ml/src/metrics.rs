@@ -197,7 +197,11 @@ mod tests {
     fn r2_perfect_and_clamped() {
         let t = [1.0, 2.0, 3.0];
         assert_eq!(r2_clamped(&t, &t), 1.0);
-        assert_eq!(r2_clamped(&[100.0, -100.0, 50.0], &t), 0.0, "worse than mean clamps to 0");
+        assert_eq!(
+            r2_clamped(&[100.0, -100.0, 50.0], &t),
+            0.0,
+            "worse than mean clamps to 0"
+        );
     }
 
     #[test]

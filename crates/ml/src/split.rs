@@ -9,11 +9,7 @@ use crate::dataset::MlDataset;
 /// The shuffle is seeded, so a given `(dataset, seed)` always produces the
 /// same split — required for utility functions to be deterministic across
 /// repeated queries.
-pub fn train_test_split(
-    data: &MlDataset,
-    test_fraction: f64,
-    seed: u64,
-) -> (MlDataset, MlDataset) {
+pub fn train_test_split(data: &MlDataset, test_fraction: f64, seed: u64) -> (MlDataset, MlDataset) {
     let n = data.len();
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -71,7 +67,12 @@ mod tests {
         assert_eq!(te1.targets, te2.targets);
         assert_eq!(tr1.len() + te1.len(), 100);
         assert_eq!(te1.len(), 25);
-        let mut all: Vec<f64> = tr1.targets.iter().chain(te1.targets.iter()).copied().collect();
+        let mut all: Vec<f64> = tr1
+            .targets
+            .iter()
+            .chain(te1.targets.iter())
+            .copied()
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(all, d.targets);
     }

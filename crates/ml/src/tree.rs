@@ -37,7 +37,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 8, min_samples_split: 4, min_samples_leaf: 2, max_thresholds: 16 }
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_thresholds: 16,
+        }
     }
 }
 
@@ -236,8 +241,7 @@ impl<'a> Builder<'a> {
                 }
                 let left_n = cut;
                 let right_n = n - cut;
-                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf
-                {
+                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
                     continue;
                 }
                 let weighted = if n_classes > 0 {
@@ -281,7 +285,9 @@ impl<'a> Builder<'a> {
             || idx.len() < self.config.min_samples_split
             || self.node_impurity(idx) < 1e-12
         {
-            return Node::Leaf { prediction: self.leaf_prediction(idx) };
+            return Node::Leaf {
+                prediction: self.leaf_prediction(idx),
+            };
         }
         let all: Vec<usize> = (0..self.data.n_features()).collect();
         let features: Vec<usize> = match self.sampling {
@@ -307,7 +313,9 @@ impl<'a> Builder<'a> {
                     right: Box::new(right_node),
                 }
             }
-            None => Node::Leaf { prediction: self.leaf_prediction(idx) },
+            None => Node::Leaf {
+                prediction: self.leaf_prediction(idx),
+            },
         }
     }
 }
@@ -331,7 +339,11 @@ impl DecisionTree {
             n_total: indices.len().max(1),
         };
         let root = builder.build(indices, 0, rng);
-        DecisionTree { root, task, importances: builder.importances }
+        DecisionTree {
+            root,
+            task,
+            importances: builder.importances,
+        }
     }
 
     /// Fit on all rows with no feature subsampling.
@@ -348,7 +360,12 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { prediction } => return *prediction,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                         left
                     } else {
@@ -413,7 +430,12 @@ mod tests {
     #[test]
     fn learns_two_level_conjunction() {
         let d = xor_dataset();
-        let t = DecisionTree::fit(&d, TreeTask::Classification { n_classes: 2 }, TreeConfig::default(), 0);
+        let t = DecisionTree::fit(
+            &d,
+            TreeTask::Classification { n_classes: 2 },
+            TreeConfig::default(),
+            0,
+        );
         let preds = t.predict_batch(&d.features);
         let correct = preds
             .iter()
@@ -427,7 +449,10 @@ mod tests {
     #[test]
     fn depth_zero_yields_majority_leaf() {
         let d = xor_dataset();
-        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
         let t = DecisionTree::fit(&d, TreeTask::Classification { n_classes: 2 }, cfg, 0);
         assert_eq!(t.n_splits(), 0);
         let p = t.predict(&[0.0, 0.0]);
@@ -438,7 +463,12 @@ mod tests {
     fn regression_fits_step_function() {
         let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
-        let d = MlDataset { features, feature_names: vec!["x".into()], targets, n_classes: None };
+        let d = MlDataset {
+            features,
+            feature_names: vec!["x".into()],
+            targets,
+            n_classes: None,
+        };
         let t = DecisionTree::fit(&d, TreeTask::Regression, TreeConfig::default(), 0);
         assert!((t.predict(&[10.0]) - 1.0).abs() < 0.5);
         assert!((t.predict(&[90.0]) - 5.0).abs() < 0.5);
@@ -460,15 +490,30 @@ mod tests {
             targets,
             n_classes: Some(2),
         };
-        let t = DecisionTree::fit(&d, TreeTask::Classification { n_classes: 2 }, TreeConfig::default(), 0);
+        let t = DecisionTree::fit(
+            &d,
+            TreeTask::Classification { n_classes: 2 },
+            TreeConfig::default(),
+            0,
+        );
         assert!(t.importances()[0] > t.importances()[1]);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let d = xor_dataset();
-        let t1 = DecisionTree::fit(&d, TreeTask::Classification { n_classes: 2 }, TreeConfig::default(), 7);
-        let t2 = DecisionTree::fit(&d, TreeTask::Classification { n_classes: 2 }, TreeConfig::default(), 7);
+        let t1 = DecisionTree::fit(
+            &d,
+            TreeTask::Classification { n_classes: 2 },
+            TreeConfig::default(),
+            7,
+        );
+        let t2 = DecisionTree::fit(
+            &d,
+            TreeTask::Classification { n_classes: 2 },
+            TreeConfig::default(),
+            7,
+        );
         assert_eq!(t1.predict_batch(&d.features), t2.predict_batch(&d.features));
     }
 

@@ -9,11 +9,7 @@ pub struct CorrelationProfile;
 
 /// Pearson over paired optional samples.
 pub(crate) fn option_pearson(xs: &[Option<f64>], ys: &[Option<f64>]) -> f64 {
-    let pairs: Vec<(f64, f64)> = xs
-        .iter()
-        .zip(ys)
-        .filter_map(|(x, y)| x.zip(*y))
-        .collect();
+    let pairs: Vec<(f64, f64)> = xs.iter().zip(ys).filter_map(|(x, y)| x.zip(*y)).collect();
     if pairs.len() < 3 {
         return 0.0;
     }
@@ -73,7 +69,10 @@ mod tests {
 
     #[test]
     fn too_few_pairs_scores_zero() {
-        assert_eq!(option_pearson(&[Some(1.0), None], &[Some(1.0), Some(2.0)]), 0.0);
+        assert_eq!(
+            option_pearson(&[Some(1.0), None], &[Some(1.0), Some(2.0)]),
+            0.0
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
 /// tag, and a sample of the materialized values.
 fn candidate_tokens(ctx: &ProfileContext<'_>) -> Vec<String> {
     let mut tokens: Vec<String> = Vec::new();
-    for field in [&ctx.candidate.source_table, &ctx.candidate.column_name, &ctx.candidate.source] {
+    for field in [
+        &ctx.candidate.source_table,
+        &ctx.candidate.column_name,
+        &ctx.candidate.source,
+    ] {
         tokens.extend(tokenize(field));
     }
     if let Some(col) = ctx.aug {
@@ -169,7 +173,10 @@ mod tests {
 
     #[test]
     fn tokenize_splits_and_lowercases() {
-        assert_eq!(tokenize("Crime-Rate_2020 (zip)"), vec!["crime", "rate", "2020", "zip"]);
+        assert_eq!(
+            tokenize("Crime-Rate_2020 (zip)"),
+            vec!["crime", "rate", "2020", "zip"]
+        );
         assert!(tokenize("--- ").is_empty());
     }
 

@@ -29,18 +29,18 @@ fn discretize(values: &[Option<f64>], bins: usize) -> Vec<Option<usize>> {
     values
         .iter()
         .map(|v| {
-            v.map(|x| (((x - lo) / span) * bins as f64).floor().min(bins as f64 - 1.0) as usize)
+            v.map(|x| {
+                (((x - lo) / span) * bins as f64)
+                    .floor()
+                    .min(bins as f64 - 1.0) as usize
+            })
         })
         .collect()
 }
 
 /// Normalized MI over paired discretized samples.
 pub(crate) fn normalized_mi(xs: &[Option<usize>], ys: &[Option<usize>], bins: usize) -> f64 {
-    let pairs: Vec<(usize, usize)> = xs
-        .iter()
-        .zip(ys)
-        .filter_map(|(x, y)| x.zip(*y))
-        .collect();
+    let pairs: Vec<(usize, usize)> = xs.iter().zip(ys).filter_map(|(x, y)| x.zip(*y)).collect();
     let n = pairs.len();
     if n < 3 {
         return 0.0;
@@ -63,8 +63,16 @@ pub(crate) fn normalized_mi(xs: &[Option<usize>], ys: &[Option<usize>], bins: us
             }
         }
     }
-    let hx: f64 = -px.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
-    let hy: f64 = -py.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+    let hx: f64 = -px
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
+    let hy: f64 = -py
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
     let denom = hx.min(hy);
     if denom < 1e-12 {
         return 0.0;
@@ -131,6 +139,9 @@ mod tests {
     fn constant_column_scores_zero() {
         let xs: Vec<Option<f64>> = (0..50).map(|_| Some(1.0)).collect();
         let ys: Vec<Option<f64>> = (0..50).map(|i| Some(i as f64)).collect();
-        assert_eq!(normalized_mi(&discretize(&xs, 8), &discretize(&ys, 8), 8), 0.0);
+        assert_eq!(
+            normalized_mi(&discretize(&xs, 8), &discretize(&ys, 8), 8),
+            0.0
+        );
     }
 }

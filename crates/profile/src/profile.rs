@@ -33,7 +33,10 @@ impl ProfileContext<'_> {
         match self.aug {
             Some(col) => {
                 let full = col.as_f64();
-                self.sample_indices.iter().map(|&i| full.get(i).copied().flatten()).collect()
+                self.sample_indices
+                    .iter()
+                    .map(|&i| full.get(i).copied().flatten())
+                    .collect()
             }
             None => vec![None; self.sample_indices.len()],
         }
@@ -44,7 +47,10 @@ impl ProfileContext<'_> {
         match self.target_column {
             Some(t) => {
                 let full = self.din.columns()[t].as_f64();
-                self.sample_indices.iter().map(|&i| full.get(i).copied().flatten()).collect()
+                self.sample_indices
+                    .iter()
+                    .map(|&i| full.get(i).copied().flatten())
+                    .collect()
             }
             None => Vec::new(),
         }
@@ -70,7 +76,9 @@ pub struct ProfileSet {
 impl ProfileSet {
     /// Empty set.
     pub fn new() -> ProfileSet {
-        ProfileSet { profiles: Vec::new() }
+        ProfileSet {
+            profiles: Vec::new(),
+        }
     }
 
     /// Register a profile (order defines vector coordinates).
@@ -179,10 +187,7 @@ mod tests {
                     Some("zip".into()),
                     (0..30).map(|i| Some(format!("z{i}"))).collect(),
                 ),
-                Column::from_floats(
-                    Some("y".into()),
-                    (0..30).map(|i| Some(i as f64)).collect(),
-                ),
+                Column::from_floats(Some("y".into()), (0..30).map(|i| Some(i as f64)).collect()),
             ],
         )
         .unwrap();
@@ -202,8 +207,12 @@ mod tests {
         .unwrap();
         let tables = vec![Arc::new(t)];
         let index = DiscoveryIndex::build(tables.clone());
-        let cands =
-            generate_candidates(&din, &index, &metam_discovery::path::PathConfig::default(), 10);
+        let cands = generate_candidates(
+            &din,
+            &index,
+            &metam_discovery::path::PathConfig::default(),
+            10,
+        );
         (din, Materializer::new(tables), cands)
     }
 

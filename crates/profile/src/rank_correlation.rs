@@ -16,7 +16,9 @@ fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut out = vec![0.0; n];
     let mut i = 0;
@@ -91,7 +93,10 @@ mod tests {
         let ys: Vec<Option<f64>> = (0..30).map(|i| Some((i as f64 * 0.4).exp())).collect();
         assert!((option_spearman(&xs, &ys) - 1.0).abs() < 1e-9);
         let pearson = crate::correlation::option_pearson(&xs, &ys);
-        assert!(pearson < 0.95, "pearson should under-score the exponential: {pearson}");
+        assert!(
+            pearson < 0.95,
+            "pearson should under-score the exponential: {pearson}"
+        );
     }
 
     #[test]
@@ -111,7 +116,10 @@ mod tests {
         let spearman = option_spearman(&xs, &ys).abs();
         let pearson = crate::correlation::option_pearson(&xs, &ys).abs();
         assert!(spearman > 0.8, "rank stays high: {spearman}");
-        assert!(pearson < 0.5, "pearson collapses under the outlier: {pearson}");
+        assert!(
+            pearson < 0.5,
+            "pearson collapses under the outlier: {pearson}"
+        );
     }
 
     #[test]

@@ -113,7 +113,11 @@ mod tests {
         .unwrap();
         let p = FixedProfile::new("fp", vec![0.25, 0.75]);
         assert_eq!(p.compute(&ctx_for(&din, &candidate(1))), 0.75);
-        assert_eq!(p.compute(&ctx_for(&din, &candidate(9))), 0.0, "unknown id scores 0");
+        assert_eq!(
+            p.compute(&ctx_for(&din, &candidate(9))),
+            0.0,
+            "unknown id scores 0"
+        );
     }
 
     #[test]

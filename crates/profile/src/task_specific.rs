@@ -47,7 +47,9 @@ impl Profile for TaskSpecificProfile {
             return 0.0;
         }
         let task = if self.classification {
-            TreeTask::Classification { n_classes: data.n_classes.unwrap_or(2).max(2) }
+            TreeTask::Classification {
+                n_classes: data.n_classes.unwrap_or(2).max(2),
+            }
         } else {
             TreeTask::Regression
         };
@@ -56,7 +58,10 @@ impl Profile for TaskSpecificProfile {
             task,
             RandomForestConfig {
                 n_trees: 6,
-                tree: TreeConfig { max_depth: 6, ..Default::default() },
+                tree: TreeConfig {
+                    max_depth: 6,
+                    ..Default::default()
+                },
                 seed: self.seed,
             },
         );
@@ -91,8 +96,9 @@ mod tests {
     #[test]
     fn informative_augmentation_scores_higher_than_noise() {
         let n = 120;
-        let target: Vec<Option<f64>> =
-            (0..n).map(|i| Some(if i % 2 == 0 { 1.0 } else { 0.0 })).collect();
+        let target: Vec<Option<f64>> = (0..n)
+            .map(|i| Some(if i % 2 == 0 { 1.0 } else { 0.0 }))
+            .collect();
         let base: Vec<Option<f64>> = (0..n).map(|i| Some(((i * 31) % 7) as f64)).collect();
         let din = Table::from_columns(
             "din",
@@ -104,13 +110,18 @@ mod tests {
         .unwrap();
         let informative = Column::from_floats(
             None,
-            (0..n).map(|i| Some(if i % 2 == 0 { 5.0 } else { -5.0 })).collect(),
+            (0..n)
+                .map(|i| Some(if i % 2 == 0 { 5.0 } else { -5.0 }))
+                .collect(),
         );
         let junk =
             Column::from_floats(None, (0..n).map(|i| Some(((i * 17) % 11) as f64)).collect());
         let cand = candidate();
         let indices: Vec<usize> = (0..n).collect();
-        let profile = TaskSpecificProfile { classification: true, seed: 0 };
+        let profile = TaskSpecificProfile {
+            classification: true,
+            seed: 0,
+        };
 
         let score_info = profile.compute(&ProfileContext {
             din: &din,
@@ -140,7 +151,10 @@ mod tests {
         )
         .unwrap();
         let cand = candidate();
-        let profile = TaskSpecificProfile { classification: true, seed: 0 };
+        let profile = TaskSpecificProfile {
+            classification: true,
+            seed: 0,
+        };
         let score = profile.compute(&ProfileContext {
             din: &din,
             target_column: None,

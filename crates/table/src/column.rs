@@ -27,7 +27,10 @@ pub struct Column {
 impl Column {
     /// Integer column.
     pub fn from_ints(name: impl Into<Option<String>>, data: Vec<Option<i64>>) -> Self {
-        Column { name: name.into(), data: ColumnData::Int(data) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Int(data),
+        }
     }
 
     /// Float column. NaNs are normalized to nulls.
@@ -36,17 +39,26 @@ impl Column {
             .into_iter()
             .map(|v| v.filter(|x| !x.is_nan()))
             .collect();
-        Column { name: name.into(), data: ColumnData::Float(data) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Float(data),
+        }
     }
 
     /// String column.
     pub fn from_strings(name: impl Into<Option<String>>, data: Vec<Option<String>>) -> Self {
-        Column { name: name.into(), data: ColumnData::Str(data) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Str(data),
+        }
     }
 
     /// Boolean column.
     pub fn from_bools(name: impl Into<Option<String>>, data: Vec<Option<bool>>) -> Self {
-        Column { name: name.into(), data: ColumnData::Bool(data) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Bool(data),
+        }
     }
 
     /// Build a column from dynamic values, choosing the narrowest type that
@@ -85,7 +97,10 @@ impl Column {
                     _ => None,
                 })
                 .collect();
-            return Column { name, data: ColumnData::Bool(data) };
+            return Column {
+                name,
+                data: ColumnData::Bool(data),
+            };
         }
         if all_int {
             let data = values
@@ -95,11 +110,17 @@ impl Column {
                     _ => None,
                 })
                 .collect();
-            return Column { name, data: ColumnData::Int(data) };
+            return Column {
+                name,
+                data: ColumnData::Int(data),
+            };
         }
         if all_num {
             let data = values.into_iter().map(|v| v.as_f64()).collect();
-            return Column { name, data: ColumnData::Float(data) };
+            return Column {
+                name,
+                data: ColumnData::Float(data),
+            };
         }
         let data = values
             .into_iter()
@@ -108,7 +129,10 @@ impl Column {
                 other => Some(other.to_string()),
             })
             .collect();
-        Column { name, data: ColumnData::Str(data) }
+        Column {
+            name,
+            data: ColumnData::Str(data),
+        }
     }
 
     /// Logical type.
@@ -144,15 +168,25 @@ impl Column {
     /// Dynamic value at `row` (out-of-bounds ⇒ `Null`).
     pub fn get(&self, row: usize) -> Value {
         match &self.data {
-            ColumnData::Int(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Int),
-            ColumnData::Float(v) => {
-                v.get(row).copied().flatten().map_or(Value::Null, Value::Float)
-            }
+            ColumnData::Int(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map_or(Value::Null, Value::Int),
+            ColumnData::Float(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map_or(Value::Null, Value::Float),
             ColumnData::Str(v) => v
                 .get(row)
                 .and_then(|o| o.clone())
                 .map_or(Value::Null, Value::Str),
-            ColumnData::Bool(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Bool),
+            ColumnData::Bool(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map_or(Value::Null, Value::Bool),
         }
     }
 
@@ -227,16 +261,18 @@ impl Column {
 
     /// Minimum of the numeric view.
     pub fn min(&self) -> Option<f64> {
-        self.as_f64().into_iter().flatten().fold(None, |acc, x| {
-            Some(acc.map_or(x, |a: f64| a.min(x)))
-        })
+        self.as_f64()
+            .into_iter()
+            .flatten()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
     }
 
     /// Maximum of the numeric view.
     pub fn max(&self) -> Option<f64> {
-        self.as_f64().into_iter().flatten().fold(None, |acc, x| {
-            Some(acc.map_or(x, |a: f64| a.max(x)))
-        })
+        self.as_f64()
+            .into_iter()
+            .flatten()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
     /// Number of distinct non-null keys.
@@ -262,7 +298,10 @@ mod tests {
     use super::*;
 
     fn float_col(vals: &[f64]) -> Column {
-        Column::from_floats(Some("x".to_string()), vals.iter().map(|&v| Some(v)).collect())
+        Column::from_floats(
+            Some("x".to_string()),
+            vals.iter().map(|&v| Some(v)).collect(),
+        )
     }
 
     #[test]
@@ -295,10 +334,7 @@ mod tests {
 
     #[test]
     fn numeric_view_parses_strings() {
-        let c = Column::from_strings(
-            None,
-            vec![Some("1.5".into()), Some("oops".into()), None],
-        );
+        let c = Column::from_strings(None, vec![Some("1.5".into()), Some("oops".into()), None]);
         assert_eq!(c.as_f64(), vec![Some(1.5), None, None]);
     }
 
@@ -306,9 +342,17 @@ mod tests {
     fn distinct_keys_normalize_and_dedup() {
         let c = Column::from_strings(
             None,
-            vec![Some("Chicago".into()), Some(" chicago ".into()), Some("NYC".into()), None],
+            vec![
+                Some("Chicago".into()),
+                Some(" chicago ".into()),
+                Some("NYC".into()),
+                None,
+            ],
         );
-        assert_eq!(c.distinct_keys(), vec!["chicago".to_string(), "nyc".to_string()]);
+        assert_eq!(
+            c.distinct_keys(),
+            vec!["chicago".to_string(), "nyc".to_string()]
+        );
         assert_eq!(c.distinct_count(), 2);
     }
 

@@ -74,7 +74,11 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table> {
     if records.is_empty() {
         return Table::from_columns(name, Vec::new());
     }
-    let header: Option<Vec<String>> = if has_header { Some(records.remove(0)) } else { None };
+    let header: Option<Vec<String>> = if has_header {
+        Some(records.remove(0))
+    } else {
+        None
+    };
     let ncols = header
         .as_ref()
         .map(|h| h.len())
@@ -119,7 +123,9 @@ pub fn read_csv<R: BufRead>(name: &str, mut reader: R, has_header: bool) -> Resu
 }
 
 fn escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    // A bare \r must be quoted too: the reader swallows unquoted \r (CRLF
+    // normalization), so leaving it bare would corrupt the value.
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
@@ -134,7 +140,11 @@ pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
         .collect();
     writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
     for r in 0..table.nrows() {
-        let row: Vec<String> = table.row(r).iter().map(|v| escape(&v.to_string())).collect();
+        let row: Vec<String> = table
+            .row(r)
+            .iter()
+            .map(|v| escape(&v.to_string()))
+            .collect();
         writeln!(writer, "{}", row.join(",")).map_err(io_err)?;
     }
     Ok(())
@@ -160,14 +170,23 @@ mod tests {
         let csv = to_csv_string(&t).unwrap();
         let t2 = read_csv_str("t", &csv, true).unwrap();
         assert_eq!(t2.nrows(), 2);
-        assert_eq!(t2.column_by_name("b").unwrap().get(1), Value::Str("y".into()));
+        assert_eq!(
+            t2.column_by_name("b").unwrap().get(1),
+            Value::Str("y".into())
+        );
     }
 
     #[test]
     fn quoted_fields_with_commas_and_quotes() {
         let t = read_csv_str("t", "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n", true).unwrap();
-        assert_eq!(t.column_by_name("a").unwrap().get(0), Value::Str("hello, world".into()));
-        assert_eq!(t.column_by_name("b").unwrap().get(0), Value::Str("say \"hi\"".into()));
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(0),
+            Value::Str("hello, world".into())
+        );
+        assert_eq!(
+            t.column_by_name("b").unwrap().get(0),
+            Value::Str("say \"hi\"".into())
+        );
     }
 
     #[test]
@@ -204,10 +223,111 @@ mod tests {
     }
 
     #[test]
+    fn embedded_newlines_in_quoted_fields() {
+        let t = read_csv_str("t", "a,b\n\"line1\nline2\",x\n\"r\r\nn\",y\n", true).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(0),
+            Value::Str("line1\nline2".into())
+        );
+        // \r survives inside quotes (only unquoted \r is swallowed).
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(1),
+            Value::Str("r\r\nn".into())
+        );
+        // And the whole thing round-trips.
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(
+            t2.column_by_name("a").unwrap().get(0),
+            Value::Str("line1\nline2".into())
+        );
+    }
+
+    #[test]
+    fn bare_carriage_return_survives_roundtrip() {
+        let t = Table::from_columns(
+            "t",
+            vec![Column::from_strings(
+                Some("x".into()),
+                vec![Some("a\rb".into())],
+            )],
+        )
+        .unwrap();
+        let csv = to_csv_string(&t).unwrap();
+        assert!(csv.contains("\"a\rb\""), "bare \\r forces quoting: {csv:?}");
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(
+            t2.column_by_name("x").unwrap().get(0),
+            Value::Str("a\rb".into())
+        );
+    }
+
+    #[test]
+    fn empty_field_and_null_literals_both_parse_to_null() {
+        let t = read_csv_str("t", "a,b,c,d\n,null,NA,n/a\n", true).unwrap();
+        for name in ["a", "b", "c", "d"] {
+            assert_eq!(
+                t.column_by_name(name).unwrap().get(0),
+                Value::Null,
+                "column {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_null_column_roundtrips_as_all_null() {
+        let t = read_csv_str("t", "a,b\n,1\n,2\n,3\n", true).unwrap();
+        let a = t.column_by_name("a").unwrap();
+        assert_eq!(a.null_count(), 3);
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(t2.column_by_name("a").unwrap().null_count(), 3);
+        assert_eq!(t2.nrows(), 3);
+    }
+
+    #[test]
+    fn nan_normalizes_to_null_on_roundtrip() {
+        // A written NaN (never produced by Column, which normalizes NaN on
+        // construction — but e.g. a foreign file may contain one) parses
+        // back as null rather than resurrecting as a NaN float.
+        let t = read_csv_str("t", "x\nNaN\n1.5\n", true).unwrap();
+        let x = t.column_by_name("x").unwrap();
+        assert_eq!(x.get(0), Value::Null);
+        assert_eq!(x.get(1), Value::Float(1.5));
+        assert_eq!(x.dtype(), DataType::Float);
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(t2.column_by_name("x").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn quoted_comma_fields_roundtrip() {
+        let t = Table::from_columns(
+            "t",
+            vec![Column::from_strings(
+                Some("addr".into()),
+                vec![Some("12 Main St, Springfield".into()), Some("plain".into())],
+            )],
+        )
+        .unwrap();
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(
+            t2.column_by_name("addr").unwrap().get(0),
+            Value::Str("12 Main St, Springfield".into())
+        );
+        assert_eq!(t2.nrows(), 2);
+    }
+
+    #[test]
     fn writer_escapes() {
         let t = Table::from_columns(
             "t",
-            vec![Column::from_strings(Some("a,b".into()), vec![Some("x\"y".into())])],
+            vec![Column::from_strings(
+                Some("a,b".into()),
+                vec![Some("x\"y".into())],
+            )],
         )
         .unwrap();
         let s = to_csv_string(&t).unwrap();

@@ -36,10 +36,16 @@ impl fmt::Display for TableError {
         match self {
             TableError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
             TableError::ColumnIndexOutOfBounds { index, len } => {
-                write!(f, "column index {index} out of bounds for table with {len} columns")
+                write!(
+                    f,
+                    "column index {index} out of bounds for table with {len} columns"
+                )
             }
             TableError::LengthMismatch { expected, actual } => {
-                write!(f, "column length mismatch: expected {expected} rows, got {actual}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected} rows, got {actual}"
+                )
             }
             TableError::NotNumeric(name) => write!(f, "column {name:?} is not numeric"),
             TableError::Csv(msg) => write!(f, "csv error: {msg}"),

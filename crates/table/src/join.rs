@@ -130,7 +130,12 @@ mod tests {
             vec![
                 Column::from_strings(
                     Some("zip".into()),
-                    vec![Some("60614".into()), Some("60615".into()), Some("99999".into()), None],
+                    vec![
+                        Some("60614".into()),
+                        Some("60615".into()),
+                        Some("99999".into()),
+                        None,
+                    ],
                 ),
                 Column::from_floats(
                     Some("price".into()),
@@ -147,7 +152,11 @@ mod tests {
             vec![
                 Column::from_strings(
                     Some("zipcode".into()),
-                    vec![Some("60615".into()), Some("60614".into()), Some("60614".into())],
+                    vec![
+                        Some("60615".into()),
+                        Some("60614".into()),
+                        Some("60614".into()),
+                    ],
                 ),
                 Column::from_floats(
                     Some("crimes".into()),
@@ -171,15 +180,29 @@ mod tests {
     #[test]
     fn match_ratio_counts_hits() {
         // 2 of 4 left rows (60614, 60615) match.
-        assert!((match_ratio(left().column(0).unwrap(), right().column(0).unwrap()) - 0.5).abs() < 1e-12);
+        assert!(
+            (match_ratio(left().column(0).unwrap(), right().column(0).unwrap()) - 0.5).abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn join_tables_appends_non_key_columns() {
-        let j = join_tables(&left(), &right(), &JoinSpec { left_key: 0, right_key: 0 }).unwrap();
+        let j = join_tables(
+            &left(),
+            &right(),
+            &JoinSpec {
+                left_key: 0,
+                right_key: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(j.ncols(), 3);
         assert_eq!(j.nrows(), 4);
-        assert_eq!(j.column_by_name("crimes").unwrap().get(1), Value::Float(10.0));
+        assert_eq!(
+            j.column_by_name("crimes").unwrap().get(1),
+            Value::Float(10.0)
+        );
     }
 
     #[test]
@@ -192,7 +215,15 @@ mod tests {
             ],
         )
         .unwrap();
-        let j = join_tables(&left(), &r, &JoinSpec { left_key: 0, right_key: 0 }).unwrap();
+        let j = join_tables(
+            &left(),
+            &r,
+            &JoinSpec {
+                left_key: 0,
+                right_key: 0,
+            },
+        )
+        .unwrap();
         assert!(j.column_by_name("price_other").is_ok());
     }
 

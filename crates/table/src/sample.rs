@@ -73,7 +73,10 @@ mod tests {
     fn sample_rows_keeps_schema() {
         let t = Table::from_columns(
             "t",
-            vec![Column::from_ints(Some("a".into()), (0..100).map(Some).collect())],
+            vec![Column::from_ints(
+                Some("a".into()),
+                (0..100).map(Some).collect(),
+            )],
         )
         .unwrap();
         let s = sample_rows(&t, 10, 42);

@@ -47,7 +47,10 @@ pub struct Field {
 impl Field {
     /// Named field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: Some(name.into()), dtype }
+        Field {
+            name: Some(name.into()),
+            dtype,
+        }
     }
 
     /// Field with a missing header value.
@@ -90,7 +93,9 @@ impl Schema {
 
     /// Index of the first field with the given name (case-sensitive).
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.fields.iter().position(|f| f.name.as_deref() == Some(name))
+        self.fields
+            .iter()
+            .position(|f| f.name.as_deref() == Some(name))
     }
 
     /// Append a field.

@@ -23,7 +23,12 @@ pub struct Table {
 impl Table {
     /// Empty table with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Table { name: name.into(), source: String::new(), columns: Vec::new(), nrows: 0 }
+        Table {
+            name: name.into(),
+            source: String::new(),
+            columns: Vec::new(),
+            nrows: 0,
+        }
     }
 
     /// Set the provenance tag, builder style.
@@ -37,10 +42,18 @@ impl Table {
         let nrows = columns.first().map_or(0, Column::len);
         for c in &columns {
             if c.len() != nrows {
-                return Err(TableError::LengthMismatch { expected: nrows, actual: c.len() });
+                return Err(TableError::LengthMismatch {
+                    expected: nrows,
+                    actual: c.len(),
+                });
             }
         }
-        Ok(Table { name: name.into(), source: String::new(), columns, nrows })
+        Ok(Table {
+            name: name.into(),
+            source: String::new(),
+            columns,
+            nrows,
+        })
     }
 
     /// Number of rows.
@@ -60,10 +73,12 @@ impl Table {
 
     /// Column by index.
     pub fn column(&self, index: usize) -> Result<&Column> {
-        self.columns.get(index).ok_or(TableError::ColumnIndexOutOfBounds {
-            index,
-            len: self.columns.len(),
-        })
+        self.columns
+            .get(index)
+            .ok_or(TableError::ColumnIndexOutOfBounds {
+                index,
+                len: self.columns.len(),
+            })
     }
 
     /// Column by name.
@@ -84,7 +99,10 @@ impl Table {
         Schema::new(
             self.columns
                 .iter()
-                .map(|c| Field { name: c.name.clone(), dtype: c.dtype() })
+                .map(|c| Field {
+                    name: c.name.clone(),
+                    dtype: c.dtype(),
+                })
                 .collect(),
         )
     }
@@ -103,7 +121,10 @@ impl Table {
         if self.columns.is_empty() {
             self.nrows = column.len();
         } else if column.len() != self.nrows {
-            return Err(TableError::LengthMismatch { expected: self.nrows, actual: column.len() });
+            return Err(TableError::LengthMismatch {
+                expected: self.nrows,
+                actual: column.len(),
+            });
         }
         self.columns.push(column);
         Ok(())
@@ -136,7 +157,10 @@ impl Table {
     /// New table without the column at `index`.
     pub fn drop_column(&self, index: usize) -> Result<Table> {
         if index >= self.columns.len() {
-            return Err(TableError::ColumnIndexOutOfBounds { index, len: self.columns.len() });
+            return Err(TableError::ColumnIndexOutOfBounds {
+                index,
+                len: self.columns.len(),
+            });
         }
         let indices: Vec<usize> = (0..self.columns.len()).filter(|&i| i != index).collect();
         self.select(&indices)
@@ -252,7 +276,10 @@ mod tests {
     fn with_column_appends() {
         let t = sample_table();
         let t2 = t
-            .with_column(Column::from_floats(Some("tax".into()), vec![Some(1.0), Some(2.0)]))
+            .with_column(Column::from_floats(
+                Some("tax".into()),
+                vec![Some(1.0), Some(2.0)],
+            ))
             .unwrap();
         assert_eq!(t2.ncols(), 4);
         assert_eq!(t.ncols(), 3, "original untouched");
@@ -266,7 +293,10 @@ mod tests {
         let t = sample_table();
         let r = t.take_rows(&[1, 0, 1]);
         assert_eq!(r.nrows(), 3);
-        assert_eq!(r.column_by_name("price").unwrap().get(0), Value::Float(420.0));
+        assert_eq!(
+            r.column_by_name("price").unwrap().get(0),
+            Value::Float(420.0)
+        );
     }
 
     #[test]

@@ -40,9 +40,12 @@ pub fn union_tables(top: &Table, bottom: &Table) -> Result<Table> {
             top.name, bottom.name
         )));
     }
-    let top_names: Vec<String> = (0..top.ncols()).map(|i| top.column_display_name(i)).collect();
-    let bottom_names: Vec<String> =
-        (0..bottom.ncols()).map(|i| bottom.column_display_name(i)).collect();
+    let top_names: Vec<String> = (0..top.ncols())
+        .map(|i| top.column_display_name(i))
+        .collect();
+    let bottom_names: Vec<String> = (0..bottom.ncols())
+        .map(|i| bottom.column_display_name(i))
+        .collect();
 
     let mut out_cols: Vec<Column> = Vec::new();
     // Columns led by `top`.
@@ -61,8 +64,7 @@ pub fn union_tables(top: &Table, bottom: &Table) -> Result<Table> {
         if top_names.contains(name) {
             continue;
         }
-        let mut values: Vec<Value> =
-            std::iter::repeat_n(Value::Null, top.nrows()).collect();
+        let mut values: Vec<Value> = std::iter::repeat_n(Value::Null, top.nrows()).collect();
         values.extend((0..bottom.nrows()).map(|r| bottom.columns()[bi].get(r)));
         out_cols.push(Column::from_values(Some(name.clone()), values));
     }

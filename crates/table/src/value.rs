@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn join_key_normalizes_case_and_numbers() {
-        assert_eq!(Value::Str(" Chicago ".into()).join_key(), Some("chicago".into()));
+        assert_eq!(
+            Value::Str(" Chicago ".into()).join_key(),
+            Some("chicago".into())
+        );
         assert_eq!(Value::Float(60614.0).join_key(), Some("60614".into()));
         assert_eq!(Value::Int(60614).join_key(), Some("60614".into()));
         assert_eq!(Value::Null.join_key(), None);

@@ -24,7 +24,10 @@ pub struct AutoMlTask {
 impl AutoMlTask {
     /// New AutoML task.
     pub fn new(target: impl Into<String>, seed: u64) -> AutoMlTask {
-        AutoMlTask { target: target.into(), seed }
+        AutoMlTask {
+            target: target.into(),
+            seed,
+        }
     }
 }
 

@@ -21,12 +21,11 @@ pub fn build_task(scenario: &Scenario, seed: u64) -> Box<dyn Task> {
         TaskSpec::Classification { target } => Box::new(ClassificationTask::new(target, seed)),
         TaskSpec::AutoMlClassification { target } => Box::new(AutoMlTask::new(target, seed)),
         TaskSpec::Regression { target } => Box::new(RegressionTask::new(target, seed)),
-        TaskSpec::WhatIf { intervened, affected } => {
-            Box::new(WhatIfTask::new(intervened, affected.clone()))
-        }
-        TaskSpec::HowTo { outcome, drivers } => {
-            Box::new(HowToTask::new(outcome, drivers.clone()))
-        }
+        TaskSpec::WhatIf {
+            intervened,
+            affected,
+        } => Box::new(WhatIfTask::new(intervened, affected.clone())),
+        TaskSpec::HowTo { outcome, drivers } => Box::new(HowToTask::new(outcome, drivers.clone())),
         TaskSpec::FairClassification { target, sensitive } => {
             Box::new(FairClassificationTask::new(target, sensitive, seed))
         }
@@ -60,7 +59,10 @@ mod tests {
         use metam_datagen::causal_scenario::{build_causal, CausalConfig, CausalKind};
         let s = build_causal(&CausalConfig::default());
         assert_eq!(build_task(&s, 0).name(), "what-if");
-        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
+        let s = build_causal(&CausalConfig {
+            kind: CausalKind::HowTo,
+            ..Default::default()
+        });
         assert_eq!(build_task(&s, 0).name(), "how-to");
         let s = metam_datagen::linking::build_linking(&Default::default());
         assert_eq!(build_task(&s, 0).name(), "entity-linking");

@@ -33,7 +33,13 @@ pub struct ClassificationTask {
 impl ClassificationTask {
     /// Task with the default (paper-scale) model.
     pub fn new(target: impl Into<String>, seed: u64) -> ClassificationTask {
-        ClassificationTask { target: target.into(), seed, n_trees: 8, max_depth: 6, repeats: 3 }
+        ClassificationTask {
+            target: target.into(),
+            seed,
+            n_trees: 8,
+            max_depth: 6,
+            repeats: 3,
+        }
     }
 }
 
@@ -61,7 +67,10 @@ impl Task for ClassificationTask {
                 TreeTask::Classification { n_classes },
                 RandomForestConfig {
                     n_trees: self.n_trees,
-                    tree: TreeConfig { max_depth: self.max_depth, ..Default::default() },
+                    tree: TreeConfig {
+                        max_depth: self.max_depth,
+                        ..Default::default()
+                    },
                     seed,
                 },
             );

@@ -25,7 +25,11 @@ pub struct ClusteringTask {
 impl ClusteringTask {
     /// New clustering task.
     pub fn new(k: usize, truth: Vec<usize>) -> ClusteringTask {
-        ClusteringTask { k: k.max(1), truth, seed: 0 }
+        ClusteringTask {
+            k: k.max(1),
+            truth,
+            seed: 0,
+        }
     }
 }
 
@@ -73,7 +77,11 @@ fn wcss(points: &[Vec<f64>], assignment: &[usize], k: usize) -> f64 {
     let centers: Vec<Vec<f64>> = sums
         .iter()
         .zip(&counts)
-        .map(|(s, &c)| s.iter().map(|v| if c > 0 { v / c as f64 } else { 0.0 }).collect())
+        .map(|(s, &c)| {
+            s.iter()
+                .map(|v| if c > 0 { v / c as f64 } else { 0.0 })
+                .collect()
+        })
         .collect();
     points
         .iter()
@@ -171,7 +179,10 @@ pub(crate) fn purity(assignment: &[usize], truth: &[usize], k: usize) -> f64 {
             counts[a][t] += 1;
         }
     }
-    let majority: usize = counts.iter().map(|c| c.iter().copied().max().unwrap_or(0)).sum();
+    let majority: usize = counts
+        .iter()
+        .map(|c| c.iter().copied().max().unwrap_or(0))
+        .sum();
     majority as f64 / assignment.len() as f64
 }
 
@@ -287,29 +298,45 @@ mod tests {
     fn purity_perfect_and_chance() {
         let truth = vec![0, 0, 1, 1];
         assert_eq!(purity(&[0, 0, 1, 1], &truth, 2), 1.0);
-        assert_eq!(purity(&[1, 1, 0, 0], &truth, 2), 1.0, "label permutation is fine");
+        assert_eq!(
+            purity(&[1, 1, 0, 0], &truth, 2),
+            1.0,
+            "label permutation is fine"
+        );
         assert_eq!(purity(&[0, 0, 0, 0], &truth, 2), 0.5);
     }
 
     fn scenario_utilities() -> (f64, f64, f64) {
         let s = build_clustering(&ClusteringConfig::default());
-        let metam_datagen::TaskSpec::Clustering { k, truth } = &s.spec else { panic!() };
+        let metam_datagen::TaskSpec::Clustering { k, truth } = &s.spec else {
+            panic!()
+        };
         let task = ClusteringTask::new(*k, truth.clone());
         let base = task.utility(&s.din);
 
-        let oni = s.tables.iter().find(|t| t.name == "nutrient_intake").unwrap();
+        let oni = s
+            .tables
+            .iter()
+            .find(|t| t.name == "nutrient_intake")
+            .unwrap();
         let col = left_join_column(&s.din, 0, oni, 0, oni.column_index("oni_score").unwrap())
             .unwrap()
             .with_name("aug0_oni");
         let boosted = task.utility(&s.din.with_column(col).unwrap());
 
-        let noisy = s.tables.iter().find(|t| t.name.starts_with("pantry_")).unwrap();
+        let noisy = s
+            .tables
+            .iter()
+            .find(|t| t.name.starts_with("pantry_"))
+            .unwrap();
         let vc = noisy
             .columns()
             .iter()
             .position(|c| c.name.as_deref().is_some_and(|n| n.starts_with("shelf_")))
             .unwrap();
-        let ncol = left_join_column(&s.din, 0, noisy, 0, vc).unwrap().with_name("aug1_shelf");
+        let ncol = left_join_column(&s.din, 0, noisy, 0, vc)
+            .unwrap()
+            .with_name("aug1_shelf");
         let noised = task.utility(&s.din.with_column(ncol).unwrap());
         (base, boosted, noised)
     }
@@ -318,13 +345,19 @@ mod tests {
     fn oni_augmentation_lifts_purity() {
         let (base, boosted, _) = scenario_utilities();
         assert!(base < 0.75, "satiety alone clusters poorly: {base}");
-        assert!(boosted > base + 0.15, "ONI must help: base={base} boosted={boosted}");
+        assert!(
+            boosted > base + 0.15,
+            "ONI must help: base={base} boosted={boosted}"
+        );
         assert!(boosted > 0.9, "ONI nearly solves it: {boosted}");
     }
 
     #[test]
     fn noise_augmentation_does_not_help() {
         let (base, _, noised) = scenario_utilities();
-        assert!(noised <= base + 0.1, "noise must not look useful: base={base} noised={noised}");
+        assert!(
+            noised <= base + 0.1,
+            "noise must not look useful: base={base} noised={noised}"
+        );
     }
 }

@@ -41,12 +41,18 @@ impl KnowledgeGraph {
         let mut kg = KnowledgeGraph::default();
         for t in truth {
             if let Some((name, context)) = t.split_once('|') {
-                kg.insert(Entity { name: name.to_string(), context: context.to_string() });
+                kg.insert(Entity {
+                    name: name.to_string(),
+                    context: context.to_string(),
+                });
             }
         }
         let names: Vec<String> = kg.by_name.keys().cloned().collect();
         for name in names {
-            kg.insert(Entity { name, context: "UK".to_string() });
+            kg.insert(Entity {
+                name,
+                context: "UK".to_string(),
+            });
         }
         kg
     }
@@ -89,7 +95,11 @@ impl EntityLinkingTask {
     /// Build the task (and its KG) from a ground-truth assignment.
     pub fn new(mention: impl Into<String>, truth: Vec<String>) -> EntityLinkingTask {
         let kg = KnowledgeGraph::from_truth(&truth);
-        EntityLinkingTask { mention: mention.into(), truth, kg }
+        EntityLinkingTask {
+            mention: mention.into(),
+            truth,
+            kg,
+        }
     }
 
     /// Link one mention given its row's context values. Returns the chosen
@@ -169,7 +179,9 @@ mod tests {
     #[test]
     fn state_augmentation_unlocks_linking() {
         let s = build_linking(&LinkingConfig::default());
-        let TaskSpec::EntityLinking { mention, truth } = &s.spec else { panic!() };
+        let TaskSpec::EntityLinking { mention, truth } = &s.spec else {
+            panic!()
+        };
         let task = EntityLinkingTask::new(mention.clone(), truth.clone());
         let base = task.utility(&s.din);
         assert!(base < 0.2, "everything ambiguous at baseline: {base}");
@@ -185,10 +197,16 @@ mod tests {
     #[test]
     fn irrelevant_augmentation_gains_nothing() {
         let s = build_linking(&LinkingConfig::default());
-        let TaskSpec::EntityLinking { mention, truth } = &s.spec else { panic!() };
+        let TaskSpec::EntityLinking { mention, truth } = &s.spec else {
+            panic!()
+        };
         let task = EntityLinkingTask::new(mention.clone(), truth.clone());
         let base = task.utility(&s.din);
-        let misc = s.tables.iter().find(|t| t.name.starts_with("city_misc_")).unwrap();
+        let misc = s
+            .tables
+            .iter()
+            .find(|t| t.name.starts_with("city_misc_"))
+            .unwrap();
         let tag_idx = misc
             .columns()
             .iter()

@@ -51,7 +51,12 @@ fn pearson(a: &[f64], b: &[f64]) -> f64 {
     }
     let ma = a.iter().sum::<f64>() / n;
     let mb = b.iter().sum::<f64>() / n;
-    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+    let cov: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / n;
     let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
     let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
     if va < 1e-15 || vb < 1e-15 {
@@ -73,8 +78,7 @@ impl Task for FairClassificationTask {
         if data.len() < 20 || data.n_features() == 0 {
             return 0.0;
         }
-        let Some(sensitive_idx) =
-            data.feature_names.iter().position(|n| n == &self.sensitive)
+        let Some(sensitive_idx) = data.feature_names.iter().position(|n| n == &self.sensitive)
         else {
             return 0.0;
         };
@@ -102,11 +106,18 @@ impl Task for FairClassificationTask {
             TreeTask::Classification { n_classes },
             RandomForestConfig {
                 n_trees: 8,
-                tree: TreeConfig { max_depth: 6, ..Default::default() },
+                tree: TreeConfig {
+                    max_depth: 6,
+                    ..Default::default()
+                },
                 seed: self.seed,
             },
         );
-        f1_macro(&forest.predict_batch(&val.features), &val.targets, n_classes)
+        f1_macro(
+            &forest.predict_batch(&val.features),
+            &val.targets,
+            n_classes,
+        )
     }
 }
 

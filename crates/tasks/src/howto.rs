@@ -25,7 +25,12 @@ pub struct HowToTask {
 impl HowToTask {
     /// Default how-to task.
     pub fn new(outcome: impl Into<String>, drivers: Vec<String>) -> HowToTask {
-        HowToTask { outcome: outcome.into(), drivers, alpha: 0.05, effect_threshold: 0.05 }
+        HowToTask {
+            outcome: outcome.into(),
+            drivers,
+            alpha: 0.05,
+            effect_threshold: 0.05,
+        }
     }
 }
 
@@ -61,12 +66,21 @@ mod tests {
 
     #[test]
     fn joining_true_driver_raises_utility() {
-        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
-        let TaskSpec::HowTo { outcome, drivers } = &s.spec else { panic!() };
+        let s = build_causal(&CausalConfig {
+            kind: CausalKind::HowTo,
+            ..Default::default()
+        });
+        let TaskSpec::HowTo { outcome, drivers } = &s.spec else {
+            panic!()
+        };
         let task = HowToTask::new(outcome.clone(), drivers.clone());
         assert_eq!(task.utility(&s.din), 0.0);
 
-        let sh = s.tables.iter().find(|t| t.name == "study_hours_records").unwrap();
+        let sh = s
+            .tables
+            .iter()
+            .find(|t| t.name == "study_hours_records")
+            .unwrap();
         let col = left_join_column(&s.din, 0, sh, 0, sh.column_index("study_hours").unwrap())
             .unwrap()
             .with_name("aug0_study_hours");
@@ -76,10 +90,19 @@ mod tests {
 
     #[test]
     fn noise_attribute_is_not_a_driver() {
-        let s = build_causal(&CausalConfig { kind: CausalKind::HowTo, ..Default::default() });
-        let TaskSpec::HowTo { outcome, drivers } = &s.spec else { panic!() };
+        let s = build_causal(&CausalConfig {
+            kind: CausalKind::HowTo,
+            ..Default::default()
+        });
+        let TaskSpec::HowTo { outcome, drivers } = &s.spec else {
+            panic!()
+        };
         let task = HowToTask::new(outcome.clone(), drivers.clone());
-        let noise = s.tables.iter().find(|t| t.name.starts_with("survey_")).unwrap();
+        let noise = s
+            .tables
+            .iter()
+            .find(|t| t.name.starts_with("survey_"))
+            .unwrap();
         let vc = noise
             .columns()
             .iter()

@@ -26,7 +26,11 @@ pub struct RegressionTask {
 impl RegressionTask {
     /// Default regression task.
     pub fn new(target: impl Into<String>, seed: u64) -> RegressionTask {
-        RegressionTask { target: target.into(), seed, repeats: 3 }
+        RegressionTask {
+            target: target.into(),
+            seed,
+            repeats: 3,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ impl Task for RegressionTask {
                 TreeTask::Regression,
                 RandomForestConfig {
                     n_trees: 8,
-                    tree: TreeConfig { max_depth: 6, ..Default::default() },
+                    tree: TreeConfig {
+                        max_depth: 6,
+                        ..Default::default()
+                    },
                     seed,
                 },
             );

@@ -33,7 +33,12 @@ pub struct UnionTask {
 impl UnionTask {
     /// New unions task.
     pub fn new(target: impl Into<String>, union_tables: Vec<Table>, seed: u64) -> UnionTask {
-        UnionTask { target: target.into(), union_tables, eval_table: None, seed }
+        UnionTask {
+            target: target.into(),
+            union_tables,
+            eval_table: None,
+            seed,
+        }
     }
 
     /// With a fixed evaluation table.
@@ -73,15 +78,16 @@ impl Task for UnionTask {
         let feature_indices: Vec<usize> = (0..table.ncols())
             .filter(|&i| !table.column_display_name(i).contains("union_marker_"))
             .collect();
-        let Ok(base) = table.select(&feature_indices) else { return 0.0 };
+        let Ok(base) = table.select(&feature_indices) else {
+            return 0.0;
+        };
         let base = drop_idlike_columns(&base, &[self.target.as_str()]);
 
         // Evaluation rows: the dedicated held-out table when available,
         // otherwise a seeded split of the input rows.
         let val = if let Some(eval) = &self.eval_table {
             let cleaned = drop_idlike_columns(eval, &[self.target.as_str()]);
-            let Ok(data) = encode_table(&cleaned, &self.target, TargetKind::Classification)
-            else {
+            let Ok(data) = encode_table(&cleaned, &self.target, TargetKind::Classification) else {
                 return 0.0;
             };
             data
@@ -114,11 +120,18 @@ impl Task for UnionTask {
             TreeTask::Classification { n_classes },
             RandomForestConfig {
                 n_trees: 8,
-                tree: TreeConfig { max_depth: 6, ..Default::default() },
+                tree: TreeConfig {
+                    max_depth: 6,
+                    ..Default::default()
+                },
                 seed: self.seed,
             },
         );
-        f1_macro(&forest.predict_batch(&val.features), &val.targets, n_classes)
+        f1_macro(
+            &forest.predict_batch(&val.features),
+            &val.targets,
+            n_classes,
+        )
     }
 }
 
@@ -140,7 +153,9 @@ mod tests {
     #[test]
     fn selected_unions_parses_marker_names() {
         let s = build_unions(&UnionsConfig::default());
-        let TaskSpec::Unions { target } = &s.spec else { panic!() };
+        let TaskSpec::Unions { target } = &s.spec else {
+            panic!()
+        };
         let task = UnionTask::new(target.clone(), s.union_tables.clone(), 0);
         let t = with_marker(&with_marker(&s.din, 3), 0);
         assert_eq!(task.selected_unions(&t), vec![0, 3]);
@@ -149,23 +164,42 @@ mod tests {
 
     #[test]
     fn good_union_does_not_hurt_bad_union_does() {
-        let s = build_unions(&UnionsConfig { seed: 2, ..Default::default() });
-        let TaskSpec::Unions { target } = &s.spec else { panic!() };
+        let s = build_unions(&UnionsConfig {
+            seed: 3,
+            ..Default::default()
+        });
+        let TaskSpec::Unions { target } = &s.spec else {
+            panic!()
+        };
         let task = UnionTask::new(target.clone(), s.union_tables.clone(), 0)
             .with_eval(s.eval_table.clone());
         let base = task.utility(&s.din);
         let good = task.utility(&with_marker(&s.din, 0)); // batch 0 is good
         let bad = task.utility(&with_marker(&s.din, 15)); // batch 15 is corrupted
         assert!(base > 0.5, "base classifier works: {base}");
-        assert!(good >= base - 0.03, "good batch must not hurt: base={base} good={good}");
-        assert!(bad < good, "corrupted batch must underperform: good={good} bad={bad}");
-        assert!(good > bad + 0.05, "separation must be clear: good={good} bad={bad}");
+        assert!(
+            good >= base - 0.03,
+            "good batch must not hurt: base={base} good={good}"
+        );
+        assert!(
+            bad < good,
+            "corrupted batch must underperform: good={good} bad={bad}"
+        );
+        assert!(
+            good > bad + 0.05,
+            "separation must be clear: good={good} bad={bad}"
+        );
     }
 
     #[test]
     fn good_batches_accumulate_gains() {
-        let s = build_unions(&UnionsConfig { seed: 5, ..Default::default() });
-        let TaskSpec::Unions { target } = &s.spec else { panic!() };
+        let s = build_unions(&UnionsConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        let TaskSpec::Unions { target } = &s.spec else {
+            panic!()
+        };
         let task = UnionTask::new(target.clone(), s.union_tables.clone(), 0)
             .with_eval(s.eval_table.clone());
         let base = task.utility(&s.din);

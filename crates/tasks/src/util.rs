@@ -49,9 +49,7 @@ pub fn aug_matches(column_name: &str, attr: &str) -> bool {
         return true;
     }
     match column_name.strip_prefix("aug") {
-        Some(rest) => rest
-            .split_once('_')
-            .is_some_and(|(_, base)| base == attr),
+        Some(rest) => rest.split_once('_').is_some_and(|(_, base)| base == attr),
         None => false,
     }
 }
@@ -72,7 +70,9 @@ mod tests {
                 ),
                 Column::from_strings(
                     Some("cat".into()),
-                    (0..50).map(|i| Some(if i % 2 == 0 { "a" } else { "b" }.to_string())).collect(),
+                    (0..50)
+                        .map(|i| Some(if i % 2 == 0 { "a" } else { "b" }.to_string()))
+                        .collect(),
                 ),
                 Column::from_floats(Some("x".into()), (0..50).map(|i| Some(i as f64)).collect()),
             ],

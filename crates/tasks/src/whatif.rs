@@ -24,7 +24,11 @@ pub struct WhatIfTask {
 impl WhatIfTask {
     /// Default what-if task at α = 0.05.
     pub fn new(intervened: impl Into<String>, affected: Vec<String>) -> WhatIfTask {
-        WhatIfTask { intervened: intervened.into(), affected, alpha: 0.05 }
+        WhatIfTask {
+            intervened: intervened.into(),
+            affected,
+            alpha: 0.05,
+        }
     }
 }
 
@@ -45,11 +49,7 @@ impl Task for WhatIfTask {
         let recovered = self
             .affected
             .iter()
-            .filter(|truth| {
-                found
-                    .iter()
-                    .any(|&f| aug_matches(&names[f], truth))
-            })
+            .filter(|truth| found.iter().any(|&f| aug_matches(&names[f], truth)))
             .count();
         recovered as f64 / self.affected.len() as f64
     }
@@ -65,13 +65,23 @@ mod tests {
     #[test]
     fn utility_rises_as_affected_attributes_join() {
         let s = build_causal(&CausalConfig::default());
-        let TaskSpec::WhatIf { intervened, affected } = &s.spec else { panic!() };
+        let TaskSpec::WhatIf {
+            intervened,
+            affected,
+        } = &s.spec
+        else {
+            panic!()
+        };
         let task = WhatIfTask::new(intervened.clone(), affected.clone());
         let base = task.utility(&s.din);
         assert_eq!(base, 0.0, "no affected attributes visible yet");
 
         // Join writing_score (a true descendant).
-        let w = s.tables.iter().find(|t| t.name == "writing_score_records").unwrap();
+        let w = s
+            .tables
+            .iter()
+            .find(|t| t.name == "writing_score_records")
+            .unwrap();
         let col = left_join_column(&s.din, 0, w, 0, w.column_index("writing_score").unwrap())
             .unwrap()
             .with_name("aug0_writing_score");
@@ -80,20 +90,37 @@ mod tests {
         assert!(u1 > 0.0, "one of {} affected found: {u1}", affected.len());
 
         // Join math_score too.
-        let m = s.tables.iter().find(|t| t.name == "math_score_records").unwrap();
+        let m = s
+            .tables
+            .iter()
+            .find(|t| t.name == "math_score_records")
+            .unwrap();
         let col2 = left_join_column(&t1, 0, m, 0, m.column_index("math_score").unwrap())
             .unwrap()
             .with_name("aug1_math_score");
         let u2 = task.utility(&t1.with_column(col2).unwrap());
-        assert!(u2 > u1, "more affected attributes → higher recall: {u1} → {u2}");
+        assert!(
+            u2 > u1,
+            "more affected attributes → higher recall: {u1} → {u2}"
+        );
     }
 
     #[test]
     fn irrelevant_columns_do_not_count() {
         let s = build_causal(&CausalConfig::default());
-        let TaskSpec::WhatIf { intervened, affected } = &s.spec else { panic!() };
+        let TaskSpec::WhatIf {
+            intervened,
+            affected,
+        } = &s.spec
+        else {
+            panic!()
+        };
         let task = WhatIfTask::new(intervened.clone(), affected.clone());
-        let noise = s.tables.iter().find(|t| t.name.starts_with("survey_")).unwrap();
+        let noise = s
+            .tables
+            .iter()
+            .find(|t| t.name.starts_with("survey_"))
+            .unwrap();
         let vc = noise
             .columns()
             .iter()

@@ -13,12 +13,19 @@ use metam::{Metam, MetamConfig};
 fn main() {
     let seed = 3;
     let scenario = metam::datagen::repo::sat_whatif(seed);
-    if let metam::datagen::TaskSpec::WhatIf { intervened, affected } = &scenario.spec {
+    if let metam::datagen::TaskSpec::WhatIf {
+        intervened,
+        affected,
+    } = &scenario.spec
+    {
         println!("intervened attribute: {intervened}");
         println!("ground-truth affected attributes: {affected:?}\n");
     }
     let prepared = prepare(scenario, seed);
-    println!("{} candidate augmentations (incl. erroneous joins)", prepared.candidates.len());
+    println!(
+        "{} candidate augmentations (incl. erroneous joins)",
+        prepared.candidates.len()
+    );
 
     let result = Metam::new(MetamConfig {
         theta: Some(1.0), // find *all* affected attributes

@@ -72,7 +72,10 @@ fn main() {
     let mut prepared = prepare_with(
         scenario,
         default_profiles(),
-        PrepareOptions { seed, ..Default::default() },
+        PrepareOptions {
+            seed,
+            ..Default::default()
+        },
     );
     prepared.task = Box::new(CoverageDiversityTask);
 
@@ -91,6 +94,9 @@ fn main() {
     println!("chosen augmentations (well-filled, mutually diverse):");
     for &id in &result.selected {
         let c = &prepared.candidates[id];
-        println!("  - {} (containment {:.2})", c.name, c.discovered_containment);
+        println!(
+            "  - {} (containment {:.2})",
+            c.name, c.discovered_containment
+        );
     }
 }

@@ -8,20 +8,27 @@
 //! Run with: `cargo run --release --example entity_linking`
 
 use metam::pipeline::prepare;
-use metam::{run_method, Method, MetamConfig};
+use metam::{run_method, MetamConfig, Method};
 
 fn main() {
     let seed = 11;
-    let scenario = metam::datagen::linking::build_linking(&metam::datagen::linking::LinkingConfig {
-        seed,
-        ..Default::default()
-    });
+    let scenario =
+        metam::datagen::linking::build_linking(&metam::datagen::linking::LinkingConfig {
+            seed,
+            ..Default::default()
+        });
     let prepared = prepare(scenario, seed);
     println!("{} candidate augmentations\n", prepared.candidates.len());
 
-    println!("{:<10} {:>9} {:>9} {:>8}", "method", "base acc", "final acc", "queries");
+    println!(
+        "{:<10} {:>9} {:>9} {:>8}",
+        "method", "base acc", "final acc", "queries"
+    );
     let methods = [
-        Method::Metam(MetamConfig { seed, ..Default::default() }),
+        Method::Metam(MetamConfig {
+            seed,
+            ..Default::default()
+        }),
         Method::Mw { seed },
         Method::Overlap,
         Method::Uniform { seed },
@@ -35,7 +42,10 @@ fn main() {
     }
 
     let r = run_method(
-        &Method::Metam(MetamConfig { seed, ..Default::default() }),
+        &Method::Metam(MetamConfig {
+            seed,
+            ..Default::default()
+        }),
         &prepared.inputs(),
         Some(0.95),
         200,

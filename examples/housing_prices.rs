@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example housing_prices`
 
 use metam::pipeline::prepare;
-use metam::{run_method, Method, MetamConfig};
+use metam::{run_method, MetamConfig, Method};
 
 fn main() {
     let seed = 7;
@@ -19,10 +19,16 @@ fn main() {
     let budget = 500;
 
     println!("{} candidate augmentations\n", prepared.candidates.len());
-    println!("{:<10} {:>8} {:>9} {:>8}  selected", "method", "base", "utility", "queries");
+    println!(
+        "{:<10} {:>8} {:>9} {:>8}  selected",
+        "method", "base", "utility", "queries"
+    );
 
     let methods = [
-        Method::Metam(MetamConfig { seed, ..Default::default() }),
+        Method::Metam(MetamConfig {
+            seed,
+            ..Default::default()
+        }),
         Method::Mw { seed },
         Method::Overlap,
         Method::Uniform { seed },
@@ -50,7 +56,10 @@ fn main() {
 
     println!("\nMetam's picks in detail:");
     let r = run_method(
-        &Method::Metam(MetamConfig { seed, ..Default::default() }),
+        &Method::Metam(MetamConfig {
+            seed,
+            ..Default::default()
+        }),
         &prepared.inputs(),
         theta,
         budget,

@@ -23,10 +23,17 @@ fn main() {
 
     // 2. Discover candidates, compute data profiles, instantiate the task.
     let prepared = prepare(scenario, 42);
-    println!("candidate augmentations discovered: {}", prepared.candidates.len());
+    println!(
+        "candidate augmentations discovered: {}",
+        prepared.candidates.len()
+    );
 
     // 3. Search: query the task adaptively until utility ≥ θ.
-    let config = MetamConfig { theta: Some(0.75), max_queries: 400, ..Default::default() };
+    let config = MetamConfig {
+        theta: Some(0.75),
+        max_queries: 400,
+        ..Default::default()
+    };
     let result = Metam::new(config).run(&prepared.inputs());
 
     println!(

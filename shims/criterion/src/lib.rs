@@ -1,0 +1,203 @@
+//! Minimal stand-in for `criterion` (offline build).
+//!
+//! Provides the structural API the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter*`,
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement (fixed warmup + median of a few timed batches)
+//! instead of criterion's statistical machinery. Good enough to spot
+//! order-of-magnitude regressions offline; not a replacement for real
+//! criterion numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- group: {name} --");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples (criterion's knob; here a cap).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted and ignored (shim measures fixed batches).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.repr)
+    }
+}
+
+/// Timing handle passed to bench closures.
+pub struct Bencher {
+    /// Duration of the most recent timed batch.
+    elapsed: Duration,
+    /// Iterations per timed batch.
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the batch median is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`iter`](Self::iter) but drops outputs after timing stops.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut outputs = Vec::with_capacity(self.iters as usize);
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            outputs.push(std::hint::black_box(routine()));
+        }
+        self.elapsed = start.elapsed();
+        drop(outputs);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // One warmup batch, then `samples.min(5)` timed batches; report median.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut bencher);
+    let mut times: Vec<Duration> = Vec::new();
+    for _ in 0..samples.min(5).max(1) {
+        f(&mut bencher);
+        times.push(bencher.elapsed);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("bench {label:<50} {median:>12.2?}/iter");
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("f", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("w", 4), &4usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert!(count > 0);
+        assert_eq!(BenchmarkId::new("a", 1).to_string(), "a/1");
+        assert_eq!(BenchmarkId::from_parameter(2).to_string(), "2");
+    }
+}

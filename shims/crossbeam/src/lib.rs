@@ -1,0 +1,74 @@
+//! Minimal stand-in for `crossbeam` scoped threads (offline build).
+//!
+//! Only `crossbeam::thread::scope` + `Scope::spawn` are provided, delegating
+//! to `std::thread::scope` (stable since 1.63). One behavioral difference:
+//! a panicking worker panics the scope itself instead of surfacing through
+//! the returned `Result`, so the `Err` arm is never taken — callers in this
+//! workspace all `.expect()` the result anyway.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle through which workers are spawned; mirrors
+    /// `crossbeam::thread::Scope` (workers receive `&Scope` as their
+    /// argument, which this shim also supports).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope (crossbeam's
+        /// signature) so nested spawns remain possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned workers are joined before this
+    /// returns. Always `Ok` (see module docs).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_workers() {
+        let counter = AtomicUsize::new(0);
+        let out = crate::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn workers_can_mutate_disjoint_chunks() {
+        let mut data = vec![0usize; 64];
+        crate::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for x in chunk.iter_mut() {
+                        *x = i + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&x| x >= 1));
+    }
+}

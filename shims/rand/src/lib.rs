@@ -1,0 +1,289 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this shim implements
+//! exactly the surface the workspace uses: `StdRng::seed_from_u64`,
+//! `Rng::gen_range` over half-open integer/float ranges, `gen_bool`, and
+//! the `SliceRandom` helpers `choose`/`shuffle`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and of more than sufficient quality for seeded synthetic data.
+//! It intentionally does **not** promise stream compatibility with the real
+//! `rand::rngs::StdRng` (ChaCha12); all workspace determinism tests compare
+//! runs against each other, never against externally recorded streams.
+
+/// A uniform random generator: the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[0, 1)` with 53-bit precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a range (half-open or inclusive). Mirrors the
+    /// real crate's `SampleRange<T>` shape so numeric literals infer their
+    /// type from the call site.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+/// Construction from a 64-bit seed (the only `SeedableRng` entry point the
+/// workspace uses).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from one word.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Element types `gen_range` can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: Rng>(lo: $t, hi: $t, rng: &mut G) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<G: Rng>(lo: $t, hi: $t, rng: &mut G) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: Rng>(lo: f64, hi: f64, rng: &mut G) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let v = lo + rng.next_f64() * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive<G: Rng>(lo: f64, hi: f64, rng: &mut G) -> f64 {
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<G: Rng>(lo: f32, hi: f32, rng: &mut G) -> f32 {
+        let v = f64::sample_half_open(lo as f64, hi as f64, rng) as f32;
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive<G: Rng>(lo: f32, hi: f32, rng: &mut G) -> f32 {
+        f64::sample_inclusive(lo as f64, hi as f64, rng) as f32
+    }
+}
+
+/// A range that can produce uniform samples of `T`. The single blanket impl
+/// per range shape (as in the real crate) is what lets `gen_range(0.78..0.92)`
+/// infer `f64` from the surrounding expression.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            let mut sm = state;
+            let s = [
+                StdRng::splitmix(&mut sm),
+                StdRng::splitmix(&mut sm),
+                StdRng::splitmix(&mut sm),
+                StdRng::splitmix(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl<R: Rng + ?Sized> Rng for &mut R {
+        fn next_u64(&mut self) -> u64 {
+            (**self).next_u64()
+        }
+    }
+}
+
+/// Sequence helpers (`rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// The subset of `rand::seq::SliceRandom` the workspace uses.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Uniformly chosen element, `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() as usize) % self.len();
+                self.get(i)
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_range_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -30,10 +30,18 @@
 //! assert!(result.utility >= result.base_utility);
 //! ```
 //!
+//! Beyond synthetic scenarios, [`lake`] points the same pipeline at a
+//! directory of CSV files on disk: scan it into a persistent
+//! [`lake::LakeCatalog`] (schema metadata + cached per-column statistics),
+//! then [`pipeline::prepare_from_lake`] with any [`Task`]. The `metam`
+//! binary (in `metam-lake`) wraps this as `scan` / `profile` / `discover`
+//! subcommands.
+//!
 //! Crate map: [`table`] (columnar substrate) → [`discovery`] (join-path
 //! index) / [`ml`] (models) / [`causal`] (independence tests) →
 //! [`profile`] (data profiles) → [`core`] (the algorithm + baselines) →
-//! [`datagen`] (synthetic repositories) → [`tasks`] (downstream tasks).
+//! [`datagen`] (synthetic repositories) → [`tasks`] (downstream tasks) →
+//! [`lake`] (on-disk ingestion, catalog + CLI).
 
 #![warn(missing_docs)]
 
@@ -41,6 +49,7 @@ pub use metam_causal as causal;
 pub use metam_core as core;
 pub use metam_datagen as datagen;
 pub use metam_discovery as discovery;
+pub use metam_lake as lake;
 pub use metam_ml as ml;
 pub use metam_profile as profile;
 pub use metam_table as table;

@@ -5,6 +5,14 @@
 //! index the repository, enumerate candidate augmentations (Definition 4),
 //! evaluate the default profile vector on a 100-row sample (§VI
 //! "Settings"), and instantiate the downstream task.
+//!
+//! Two entry points cover the two data worlds:
+//!
+//! * [`prepare`] / [`prepare_with`] — a synthetic [`Scenario`] with
+//!   planted ground truth,
+//! * [`prepare_from_lake`] / [`prepare_from_lake_with`] — a scanned
+//!   on-disk CSV lake ([`metam_lake::LakeCatalog`]) with a user-supplied
+//!   [`Task`].
 
 use std::sync::Arc;
 
@@ -13,7 +21,9 @@ use metam_core::Task;
 use metam_datagen::Scenario;
 use metam_discovery::path::PathConfig;
 use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
+use metam_lake::{LakeCatalog, LakeOptions, PreparedLake};
 use metam_profile::{default_profiles, ProfileSet};
+use metam_table::Table;
 use metam_tasks::build_task;
 
 /// Knobs for [`prepare_with`].
@@ -78,7 +88,11 @@ impl PreparedScenario {
     pub fn relevance(&self) -> Vec<f64> {
         self.candidates
             .iter()
-            .map(|c| self.scenario.ground_truth.relevance(&c.source_table, &c.column_name))
+            .map(|c| {
+                self.scenario
+                    .ground_truth
+                    .relevance(&c.source_table, &c.column_name)
+            })
             .collect()
     }
 }
@@ -86,7 +100,14 @@ impl PreparedScenario {
 /// [`prepare_with`] using default options, the default profile set and the
 /// given seed.
 pub fn prepare(scenario: Scenario, seed: u64) -> PreparedScenario {
-    prepare_with(scenario, default_profiles(), PrepareOptions { seed, ..Default::default() })
+    prepare_with(
+        scenario,
+        default_profiles(),
+        PrepareOptions {
+            seed,
+            ..Default::default()
+        },
+    )
 }
 
 /// Full assembly with a custom profile set and options.
@@ -122,6 +143,44 @@ pub fn prepare_with(
     }
 }
 
+/// [`prepare_from_lake_with`] using the default profile set.
+pub fn prepare_from_lake(
+    catalog: &LakeCatalog,
+    din: Table,
+    task: Box<dyn Task>,
+    target: Option<&str>,
+    options: PrepareOptions,
+) -> metam_lake::Result<PreparedLake> {
+    prepare_from_lake_with(catalog, din, task, default_profiles(), target, options)
+}
+
+/// Assemble search inputs from a scanned CSV lake instead of a synthetic
+/// scenario: load every catalog table (minus `din` itself), index it,
+/// enumerate candidates, evaluate profiles, and bundle the user-supplied
+/// task. `target` names the task's target column in `din`, when one
+/// exists; it drives the target-aware profiles and the iARDA baseline.
+pub fn prepare_from_lake_with(
+    catalog: &LakeCatalog,
+    din: Table,
+    task: Box<dyn Task>,
+    profile_set: ProfileSet,
+    target: Option<&str>,
+    options: PrepareOptions,
+) -> metam_lake::Result<PreparedLake> {
+    let lake_options = LakeOptions {
+        path: options.path,
+        max_candidates: options.max_candidates,
+        profile_sample: options.profile_sample,
+        seed: options.seed,
+        target: target.map(String::from),
+        // The catalog table named like `din` is withheld (it must not
+        // join with itself); use `LakeOptions` directly for an external
+        // input dataset that should not shadow a lake table.
+        exclude_tables: None,
+    };
+    metam_lake::prepare::prepare_from_catalog_with(catalog, din, task, profile_set, &lake_options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,11 +198,18 @@ mod tests {
         let p = prepare(scenario, 1);
         assert!(!p.candidates.is_empty());
         assert_eq!(p.candidates.len(), p.profiles.len());
-        assert_eq!(p.profile_names.len(), 5, "default profile set has 5 profiles");
+        assert_eq!(
+            p.profile_names.len(),
+            5,
+            "default profile set has 5 profiles"
+        );
         assert!(p.target_column.is_some());
         let rel = p.relevance();
         assert_eq!(rel.len(), p.candidates.len());
-        assert!(rel.iter().any(|&r| r > 0.0), "planted candidates must be discoverable");
+        assert!(
+            rel.iter().any(|&r| r > 0.0),
+            "planted candidates must be discoverable"
+        );
         assert!(rel.iter().all(|&r| (0.0..=1.0).contains(&r)));
     }
 }

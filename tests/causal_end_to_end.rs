@@ -39,9 +39,15 @@ fn whatif_recovers_all_affected_attributes() {
         .iter()
         .map(|&id| prepared.candidates[id].source_table.as_str())
         .collect();
-    assert!(names.iter().any(|n| n.contains("writing_score")), "{names:?}");
+    assert!(
+        names.iter().any(|n| n.contains("writing_score")),
+        "{names:?}"
+    );
     assert!(names.iter().any(|n| n.contains("math_score")), "{names:?}");
-    assert!(names.iter().any(|n| n.contains("college_admission")), "{names:?}");
+    assert!(
+        names.iter().any(|n| n.contains("college_admission")),
+        "{names:?}"
+    );
 }
 
 #[test]
@@ -57,13 +63,20 @@ fn howto_beats_uniform_on_queries() {
     let prepared = prepare(scenario, 32);
     let budget = 250;
     let metam_r = run_method(
-        &Method::Metam(MetamConfig { seed: 32, ..Default::default() }),
+        &Method::Metam(MetamConfig {
+            seed: 32,
+            ..Default::default()
+        }),
         &prepared.inputs(),
         Some(1.0),
         budget,
     );
-    let uniform_r =
-        run_method(&Method::Uniform { seed: 32 }, &prepared.inputs(), Some(1.0), budget);
+    let uniform_r = run_method(
+        &Method::Uniform { seed: 32 },
+        &prepared.inputs(),
+        Some(1.0),
+        budget,
+    );
     assert!(
         metam_r.utility >= uniform_r.utility,
         "metam {} vs uniform {}",

@@ -47,7 +47,10 @@ fn p2_similar_profiles_similar_utility() {
             }
         }
     }
-    assert!(close_pairs >= 10, "need enough close pairs to test P2: {close_pairs}");
+    assert!(
+        close_pairs >= 10,
+        "need enough close pairs to test P2: {close_pairs}"
+    );
     let ratio = consistent as f64 / close_pairs as f64;
     assert!(
         ratio >= 0.75,
@@ -118,7 +121,10 @@ fn erroneous_candidates_do_not_help() {
                 .contains(&prepared.candidates[i].source_table)
         })
         .collect();
-    assert!(!erroneous.is_empty(), "scenario must contain erroneous candidates");
+    assert!(
+        !erroneous.is_empty(),
+        "scenario must contain erroneous candidates"
+    );
     for &e in erroneous.iter().take(6) {
         let u = engine.utility_of(&BTreeSet::from([e])).unwrap();
         assert!(

@@ -21,8 +21,12 @@ fn small_classification(seed: u64) -> metam::datagen::Scenario {
 #[test]
 fn metam_improves_utility_end_to_end() {
     let prepared = prepare(small_classification(1), 1);
-    let result = Metam::new(MetamConfig { max_queries: 120, seed: 1, ..Default::default() })
-        .run(&prepared.inputs());
+    let result = Metam::new(MetamConfig {
+        max_queries: 120,
+        seed: 1,
+        ..Default::default()
+    })
+    .run(&prepared.inputs());
     assert!(
         result.utility > result.base_utility + 0.05,
         "expected a real lift: {} → {}",
@@ -36,8 +40,12 @@ fn metam_improves_utility_end_to_end() {
 fn metam_finds_planted_augmentations() {
     let prepared = prepare(small_classification(2), 2);
     let relevance = prepared.relevance();
-    let result = Metam::new(MetamConfig { max_queries: 150, seed: 2, ..Default::default() })
-        .run(&prepared.inputs());
+    let result = Metam::new(MetamConfig {
+        max_queries: 150,
+        seed: 2,
+        ..Default::default()
+    })
+    .run(&prepared.inputs());
     // At least one selected augmentation must be planted ground truth.
     assert!(
         result.selected.iter().any(|&id| relevance[id] > 0.0),
@@ -56,8 +64,12 @@ fn p1_solutions_are_small() {
     let prepared = prepare(small_classification(3), 3);
     let n = prepared.candidates.len();
     assert!(n > 30, "scenario should have many candidates, got {n}");
-    let result = Metam::new(MetamConfig { max_queries: 150, seed: 3, ..Default::default() })
-        .run(&prepared.inputs());
+    let result = Metam::new(MetamConfig {
+        max_queries: 150,
+        seed: 3,
+        ..Default::default()
+    })
+    .run(&prepared.inputs());
     assert!(
         result.selected.len() <= 6,
         "solution should be small (P1): {} of {n}",
@@ -69,22 +81,35 @@ fn p1_solutions_are_small() {
 fn all_methods_produce_valid_traces() {
     let prepared = prepare(small_classification(4), 4);
     let methods = [
-        Method::Metam(MetamConfig { seed: 4, ..Default::default() }),
+        Method::Metam(MetamConfig {
+            seed: 4,
+            ..Default::default()
+        }),
         Method::Uniform { seed: 4 },
         Method::Overlap,
         Method::Mw { seed: 4 },
-        Method::IArda { classification: true, seed: 4 },
+        Method::IArda {
+            classification: true,
+            seed: 4,
+        },
         Method::JoinAll,
     ];
     for m in &methods {
         let r = run_method(m, &prepared.inputs(), None, 40);
         assert!(r.queries <= 40, "{}: {}", r.method, r.queries);
         assert!(
-            r.trace.windows(2).all(|w| w[0].utility <= w[1].utility + 1e-12),
+            r.trace
+                .windows(2)
+                .all(|w| w[0].utility <= w[1].utility + 1e-12),
             "{}: trace must be nondecreasing",
             r.method
         );
-        assert!((0.0..=1.0).contains(&r.utility), "{}: {}", r.method, r.utility);
+        assert!(
+            (0.0..=1.0).contains(&r.utility),
+            "{}: {}",
+            r.method,
+            r.utility
+        );
     }
 }
 
@@ -92,7 +117,11 @@ fn all_methods_produce_valid_traces() {
 fn runs_are_reproducible() {
     let prepared_a = prepare(small_classification(5), 5);
     let prepared_b = prepare(small_classification(5), 5);
-    let cfg = MetamConfig { max_queries: 80, seed: 5, ..Default::default() };
+    let cfg = MetamConfig {
+        max_queries: 80,
+        seed: 5,
+        ..Default::default()
+    };
     let a = Metam::new(cfg.clone()).run(&prepared_a.inputs());
     let b = Metam::new(cfg).run(&prepared_b.inputs());
     assert_eq!(a.selected, b.selected);

@@ -6,9 +6,12 @@ use metam::{run_method, Metam, MetamConfig, Method, StopReason};
 
 #[test]
 fn entity_linking_found_in_few_queries() {
-    let scenario = metam::datagen::linking::build_linking(
-        &metam::datagen::linking::LinkingConfig { seed: 21, n_irrelevant_tables: 30, ..Default::default() },
-    );
+    let scenario =
+        metam::datagen::linking::build_linking(&metam::datagen::linking::LinkingConfig {
+            seed: 21,
+            n_irrelevant_tables: 30,
+            ..Default::default()
+        });
     let prepared = prepare(scenario, 21);
     let relevance = prepared.relevance();
     let result = Metam::new(MetamConfig {
@@ -18,7 +21,12 @@ fn entity_linking_found_in_few_queries() {
         ..Default::default()
     })
     .run(&prepared.inputs());
-    assert_eq!(result.stop_reason, StopReason::ThetaReached, "u={}", result.utility);
+    assert_eq!(
+        result.stop_reason,
+        StopReason::ThetaReached,
+        "u={}",
+        result.utility
+    );
     assert!(result.utility > 0.95);
     assert!(
         result.selected.iter().any(|&id| relevance[id] > 0.0),
@@ -31,13 +39,19 @@ fn entity_linking_found_in_few_queries() {
 
 #[test]
 fn fair_classification_prefers_fair_useful_feature() {
-    let scenario = metam::datagen::fairness::build_fairness(
-        &metam::datagen::fairness::FairnessConfig { seed: 22, ..Default::default() },
-    );
+    let scenario =
+        metam::datagen::fairness::build_fairness(&metam::datagen::fairness::FairnessConfig {
+            seed: 22,
+            ..Default::default()
+        });
     let prepared = prepare(scenario, 22);
     let relevance = prepared.relevance();
-    let result = Metam::new(MetamConfig { max_queries: 80, seed: 22, ..Default::default() })
-        .run(&prepared.inputs());
+    let result = Metam::new(MetamConfig {
+        max_queries: 80,
+        seed: 22,
+        ..Default::default()
+    })
+    .run(&prepared.inputs());
     assert!(
         result.utility > result.base_utility + 0.04,
         "{} → {}",
@@ -58,7 +72,10 @@ fn fair_classification_prefers_fair_useful_feature() {
 #[test]
 fn clustering_finds_oni_quickly() {
     let scenario = metam::datagen::clustering::build_clustering(
-        &metam::datagen::clustering::ClusteringConfig { seed: 23, ..Default::default() },
+        &metam::datagen::clustering::ClusteringConfig {
+            seed: 23,
+            ..Default::default()
+        },
     );
     let prepared = prepare(scenario, 23);
     assert!(prepared.candidates.len() >= 8, "paper: 8 candidates");
@@ -69,8 +86,17 @@ fn clustering_finds_oni_quickly() {
         ..Default::default()
     })
     .run(&prepared.inputs());
-    assert_eq!(result.stop_reason, StopReason::ThetaReached, "u={}", result.utility);
-    assert!(result.queries <= 25, "small candidate set ⇒ few queries: {}", result.queries);
+    assert_eq!(
+        result.stop_reason,
+        StopReason::ThetaReached,
+        "u={}",
+        result.utility
+    );
+    assert!(
+        result.queries <= 25,
+        "small candidate set ⇒ few queries: {}",
+        result.queries
+    );
 }
 
 #[test]
@@ -82,7 +108,10 @@ fn unions_task_improves_with_good_batches() {
     let prepared = prepare(scenario, 24);
     let relevance = prepared.relevance();
     let result = run_method(
-        &Method::Metam(MetamConfig { seed: 24, ..Default::default() }),
+        &Method::Metam(MetamConfig {
+            seed: 24,
+            ..Default::default()
+        }),
         &prepared.inputs(),
         None,
         60,
@@ -95,7 +124,11 @@ fn unions_task_improves_with_good_batches() {
     );
     // If anything was selected, the good batches must dominate.
     if !result.selected.is_empty() {
-        let good = result.selected.iter().filter(|&&id| relevance[id] > 0.0).count();
+        let good = result
+            .selected
+            .iter()
+            .filter(|&&id| relevance[id] > 0.0)
+            .count();
         assert!(
             good * 2 >= result.selected.len(),
             "mostly good batches expected: {good}/{}",

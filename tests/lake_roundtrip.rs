@@ -1,0 +1,208 @@
+//! The lake subsystem's self-validating round trip: export a synthetic
+//! scenario (with planted ground truth) as a CSV lake on disk, scan it
+//! back through the catalog, run goal-oriented discovery over the files,
+//! and check that the search still recovers the planted augmentations.
+//!
+//! This exercises every lake layer at once: CSV writer → reader, catalog
+//! scan, manifest persistence + cache invalidation, candidate generation
+//! over file-backed tables, and the search itself.
+
+use std::path::PathBuf;
+
+use metam::lake::{export_scenario, LakeCatalog};
+use metam::pipeline::{prepare_from_lake, PrepareOptions};
+use metam::tasks::ClassificationTask;
+use metam::{Metam, MetamConfig};
+use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+use metam_datagen::Scenario;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metam-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_scenario(seed: u64) -> Scenario {
+    build_supervised(&SupervisedConfig {
+        seed,
+        n_rows: 300,
+        n_informative: 2,
+        n_duplicates: 1,
+        n_irrelevant_tables: 6,
+        n_erroneous_tables: 3,
+        n_redundant_tables: 2,
+        classification: true,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn exported_lake_rediscovers_planted_candidates() {
+    let dir = tmp_dir("discover");
+    let scenario = small_scenario(11);
+    export_scenario(&scenario, &dir).expect("export");
+
+    let catalog = LakeCatalog::scan(&dir).expect("scan");
+    assert_eq!(
+        catalog.len(),
+        scenario.tables.len() + 1,
+        "every repo table plus din.csv is cataloged"
+    );
+
+    let din = catalog.load_table("din").expect("din");
+    assert_eq!(din.nrows(), scenario.din.nrows());
+    assert_eq!(din.ncols(), scenario.din.ncols());
+
+    let task = Box::new(ClassificationTask::new("label", 11));
+    let prepared = prepare_from_lake(
+        &catalog,
+        din,
+        task,
+        Some("label"),
+        PrepareOptions {
+            seed: 11,
+            ..Default::default()
+        },
+    )
+    .expect("prepare");
+    assert!(
+        !prepared.candidates.is_empty(),
+        "discovery over the file-backed lake must find candidates"
+    );
+    // The planted signal survives the CSV round trip: at least one
+    // candidate maps to a ground-truth-relevant (table, column) pair.
+    let planted: Vec<&str> = prepared
+        .candidates
+        .iter()
+        .filter(|c| {
+            scenario
+                .ground_truth
+                .is_relevant(&c.source_table, &c.column_name)
+        })
+        .map(|c| c.name.as_str())
+        .collect();
+    assert!(
+        !planted.is_empty(),
+        "planted candidates must be rediscoverable from disk"
+    );
+
+    let result = Metam::new(MetamConfig {
+        theta: Some(0.9),
+        max_queries: 400,
+        seed: 11,
+        ..Default::default()
+    })
+    .run(&prepared.inputs());
+
+    assert!(
+        result.utility >= result.base_utility,
+        "augmentation must not hurt: base={} final={}",
+        result.base_utility,
+        result.utility
+    );
+    assert!(
+        result.utility > result.base_utility + 0.01,
+        "planted signal must lift utility: base={} final={}",
+        result.base_utility,
+        result.utility
+    );
+    assert!(
+        !result.selected.is_empty(),
+        "the search must select at least one augmentation"
+    );
+    assert!(
+        result.selected.iter().any(|&id| {
+            let c = &prepared.candidates[id];
+            scenario
+                .ground_truth
+                .is_relevant(&c.source_table, &c.column_name)
+        }),
+        "at least one selected augmentation must be a planted one: {:?}",
+        result
+            .selected
+            .iter()
+            .map(|&id| prepared.candidates[id].name.clone())
+            .collect::<Vec<_>>()
+    );
+    assert!(result.queries <= result.budget);
+    assert_eq!(result.queries_remaining(), result.budget - result.queries);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_scan_hits_the_profile_cache() {
+    let dir = tmp_dir("cache");
+    let scenario = small_scenario(5);
+    export_scenario(&scenario, &dir).expect("export");
+
+    let first = LakeCatalog::scan(&dir).expect("first scan");
+    assert_eq!(first.cache_hits(), 0);
+    assert_eq!(first.cache_misses(), first.len());
+
+    // Unchanged lake ⇒ every profile comes from the persisted cache.
+    let second = LakeCatalog::scan(&dir).expect("second scan");
+    assert_eq!(second.cache_hits(), second.len(), "all files unchanged");
+    assert_eq!(second.cache_misses(), 0);
+    assert_eq!(
+        second.entries(),
+        first.entries(),
+        "cached profiles are identical"
+    );
+
+    // Touching one file invalidates exactly that file.
+    let touched = dir.join("din.csv");
+    let mut text = std::fs::read_to_string(&touched).unwrap();
+    text.push_str("extra,0,0,extra\n");
+    std::fs::write(&touched, text).unwrap();
+    let third = LakeCatalog::scan(&dir).expect("third scan");
+    assert_eq!(third.cache_misses(), 1, "only the touched file re-profiles");
+    assert_eq!(third.cache_hits(), third.len() - 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lake_prepare_matches_in_memory_prepare_candidates() {
+    // The same scenario, prepared in memory and via the on-disk round
+    // trip, must discover the same (table, column) candidate set — the
+    // CSV layer may retype values but must not change what joins.
+    let dir = tmp_dir("parity");
+    let scenario = small_scenario(23);
+    export_scenario(&scenario, &dir).expect("export");
+
+    let in_memory = metam::pipeline::prepare(scenario, 23);
+    let catalog = LakeCatalog::scan(&dir).expect("scan");
+    let din = catalog.load_table("din").expect("din");
+    let task = Box::new(ClassificationTask::new("label", 23));
+    let from_disk = prepare_from_lake(
+        &catalog,
+        din,
+        task,
+        Some("label"),
+        PrepareOptions {
+            seed: 23,
+            ..Default::default()
+        },
+    )
+    .expect("prepare");
+
+    let key = |cands: &[metam_discovery::Candidate]| {
+        let mut keys: Vec<(String, String)> = cands
+            .iter()
+            .map(|c| (c.source_table.clone(), c.column_name.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    };
+    let mem = key(&in_memory.candidates);
+    let disk = key(&from_disk.candidates);
+    let missing: Vec<_> = mem.iter().filter(|k| !disk.contains(k)).collect();
+    assert!(
+        missing.is_empty(),
+        "candidates lost in the CSV round trip: {missing:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

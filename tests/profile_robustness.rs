@@ -37,11 +37,18 @@ fn all_uninformative_profiles_still_find_solution() {
     let prepared = prepare_with(
         scenario,
         noise_only,
-        PrepareOptions { seed: 41, ..Default::default() },
+        PrepareOptions {
+            seed: 41,
+            ..Default::default()
+        },
     );
     let relevance = prepared.relevance();
-    let result = Metam::new(MetamConfig { max_queries: 250, seed: 41, ..Default::default() })
-        .run(&prepared.inputs());
+    let result = Metam::new(MetamConfig {
+        max_queries: 250,
+        seed: 41,
+        ..Default::default()
+    })
+    .run(&prepared.inputs());
     assert!(
         result.utility > result.base_utility + 0.05,
         "{} → {}",
@@ -91,7 +98,10 @@ fn homogeneity_check_survives_lying_profiles() {
         ));
     }
     let index = DiscoveryIndex::build(tables.clone());
-    let cfg = PathConfig { max_hops: 1, ..Default::default() };
+    let cfg = PathConfig {
+        max_hops: 1,
+        ..Default::default()
+    };
     let candidates = generate_candidates(&din, &index, &cfg, 100);
     let materializer = Materializer::new(tables);
 
@@ -119,7 +129,12 @@ fn homogeneity_check_survives_lying_profiles() {
         ..Default::default()
     })
     .run(&inputs);
-    assert_eq!(result.stop_reason, StopReason::ThetaReached, "u={}", result.utility);
+    assert_eq!(
+        result.stop_reason,
+        StopReason::ThetaReached,
+        "u={}",
+        result.utility
+    );
     assert_eq!(result.selected, vec![3]);
 }
 

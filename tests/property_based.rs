@@ -45,7 +45,10 @@ fn fixture(n: usize) -> (Table, Vec<metam_discovery::Candidate>, Materializer) {
         ));
     }
     let index = DiscoveryIndex::build(tables.clone());
-    let cfg = PathConfig { max_hops: 1, ..Default::default() };
+    let cfg = PathConfig {
+        max_hops: 1,
+        ..Default::default()
+    };
     let candidates = generate_candidates(&din, &index, &cfg, 10 * n.max(1));
     (din, candidates, Materializer::new(tables))
 }

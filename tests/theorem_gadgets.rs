@@ -42,7 +42,10 @@ fn fixture(n: usize) -> (Table, Vec<metam_discovery::Candidate>, Materializer) {
         ));
     }
     let index = DiscoveryIndex::build(tables.clone());
-    let cfg = PathConfig { max_hops: 1, ..Default::default() };
+    let cfg = PathConfig {
+        max_hops: 1,
+        ..Default::default()
+    };
     let candidates = generate_candidates(&din, &index, &cfg, 10 * n);
     (din, candidates, Materializer::new(tables))
 }
@@ -63,7 +66,10 @@ fn theorem3_reaches_theta_on_set_cover() {
     ];
     let (din, candidates, mat) = fixture(covers.len());
     assert_eq!(candidates.len(), covers.len());
-    let task = SetCoverTask { covers, universe: 10 };
+    let task = SetCoverTask {
+        covers,
+        universe: 10,
+    };
     let profiles = vec![vec![0.5, 0.5]; candidates.len()];
     let names = vec!["a".to_string(), "b".to_string()];
     let inputs = SearchInputs {
@@ -82,10 +88,18 @@ fn theorem3_reaches_theta_on_set_cover() {
         ..Default::default()
     })
     .run(&inputs);
-    assert_eq!(result.stop_reason, StopReason::ThetaReached, "Theorem 3: θ achievable ⇒ found");
+    assert_eq!(
+        result.stop_reason,
+        StopReason::ThetaReached,
+        "Theorem 3: θ achievable ⇒ found"
+    );
     assert!((result.utility - 1.0).abs() < 1e-12);
     // The minimal cover is the three big sets.
-    assert_eq!(result.selected, vec![0, 1, 2], "minimality finds the optimal cover");
+    assert_eq!(
+        result.selected,
+        vec![0, 1, 2],
+        "minimality finds the optimal cover"
+    );
 }
 
 #[test]
@@ -93,14 +107,17 @@ fn greedy_matches_submodular_bound() {
     // Lemma 3 flavour: on a monotone submodular utility, the greedy value
     // after k rounds is ≥ (1 − 1/e)·OPT.
     let covers: Vec<Vec<usize>> = vec![
-        (0..30).collect(),              // big set
-        (20..45).collect(),             // overlaps
+        (0..30).collect(),  // big set
+        (20..45).collect(), // overlaps
         (40..60).collect(),
         (0..10).collect(),
         (55..60).collect(),
     ];
     let (din, candidates, mat) = fixture(covers.len());
-    let task = SetCoverTask { covers, universe: 60 };
+    let task = SetCoverTask {
+        covers,
+        universe: 60,
+    };
     let profiles = vec![vec![0.5]; candidates.len()];
     let names = vec!["p".to_string()];
     let inputs = SearchInputs {
@@ -132,7 +149,10 @@ fn np_hardness_gadget_utility_is_cover_fraction() {
     // Sanity of the Theorem 1 reduction: utility equals |∪ S_i| / n.
     let covers = vec![vec![0, 1], vec![1, 2]];
     let (din, candidates, mat) = fixture(2);
-    let task = SetCoverTask { covers, universe: 4 };
+    let task = SetCoverTask {
+        covers,
+        universe: 4,
+    };
     let profiles = vec![vec![0.0]; candidates.len()];
     let names = vec!["p".to_string()];
     let inputs = SearchInputs {
