@@ -1,13 +1,13 @@
 #!/usr/bin/env sh
-# CI gate: formatting, lints on the lake subsystem, then tier-1
+# CI gate: formatting, lints on the whole workspace, then tier-1
 # verification (release build + full test suite). Run from the repo root.
 set -eu
 
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy (metam-lake) =="
-cargo clippy -p metam-lake --all-targets -- -D warnings
+echo "== cargo clippy (workspace) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release

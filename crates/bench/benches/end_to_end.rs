@@ -2,7 +2,7 @@
 //! task, real joins, real profiles) on a small classification scenario.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use metam::pipeline::prepare;
+use metam::Session;
 use metam::{Metam, MetamConfig};
 use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 
@@ -22,10 +22,18 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("prepare", |b| {
-        b.iter_with_large_drop(|| prepare(small_scenario(), 5))
+        b.iter_with_large_drop(|| {
+            Session::from_scenario(small_scenario())
+                .seed(5)
+                .prepare()
+                .expect("prepare")
+        })
     });
 
-    let prepared = prepare(small_scenario(), 5);
+    let prepared = Session::from_scenario(small_scenario())
+        .seed(5)
+        .prepare()
+        .expect("prepare");
     group.bench_function("metam_30_queries", |b| {
         b.iter(|| {
             Metam::new(MetamConfig {

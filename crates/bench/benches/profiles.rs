@@ -3,8 +3,8 @@
 //! the parallel profile sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use metam::pipeline::{prepare_with, PrepareOptions};
-use metam::profile::{default_profiles, Profile, ProfileContext};
+use metam::profile::{Profile, ProfileContext};
+use metam::Session;
 use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 
 fn scenario() -> metam::datagen::Scenario {
@@ -18,22 +18,18 @@ fn scenario() -> metam::datagen::Scenario {
 }
 
 fn bench_single_profiles(c: &mut Criterion) {
-    let prepared = prepare_with(
-        scenario(),
-        default_profiles(),
-        PrepareOptions {
-            seed: 0,
-            ..Default::default()
-        },
-    );
+    let prepared = Session::from_scenario(scenario())
+        .seed(0)
+        .prepare()
+        .expect("prepare");
     let cand = &prepared.candidates[0];
     let aug = prepared
         .materializer
-        .materialize(&prepared.scenario.din, cand)
+        .materialize(&prepared.din, cand)
         .expect("materializes");
     let sample: Vec<usize> = (0..100).collect();
     let ctx = ProfileContext {
-        din: &prepared.scenario.din,
+        din: &prepared.din,
         target_column: prepared.target_column,
         sample_indices: &sample,
         candidate: cand,
@@ -74,14 +70,10 @@ fn bench_profile_sweep(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("evaluate_all", |b| {
         b.iter_with_large_drop(|| {
-            prepare_with(
-                scenario(),
-                default_profiles(),
-                PrepareOptions {
-                    seed: 0,
-                    ..Default::default()
-                },
-            )
+            Session::from_scenario(scenario())
+                .seed(0)
+                .prepare()
+                .expect("prepare")
         })
     });
     group.finish();

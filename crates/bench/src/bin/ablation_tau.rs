@@ -4,7 +4,6 @@
 //! improving augmentation — fewer queries per round, larger solutions
 //! (the paper reports ≈9 augmentations relaxed vs 2 minimal).
 
-use metam::pipeline::prepare;
 use metam::{Metam, MetamConfig};
 use metam_bench::{save_json, Args, TableReport};
 
@@ -13,7 +12,10 @@ fn main() {
     let budget = if args.quick { 150 } else { 800 };
 
     let scenario = metam::datagen::repo::price_classification(args.seed);
-    let prepared = prepare(scenario, args.seed);
+    let prepared = metam::Session::from_scenario(scenario)
+        .seed(args.seed)
+        .prepare()
+        .expect("prepare");
 
     // Discover |C| once so τ = |C|/2 is meaningful.
     let clustering = metam::core::cluster::cluster_partition(&prepared.profiles, 0.05, args.seed);

@@ -2,7 +2,6 @@
 //! profile counts: I:5 UI:5 → I:5 UI:2 → I:5 UI:0 → I:3 UI:0. Removing
 //! noise helps; removing informative profiles costs queries.
 
-use metam::pipeline::{prepare_with, PrepareOptions};
 use metam::profile::correlation::CorrelationProfile;
 use metam::profile::embedding::EmbeddingProfile;
 use metam::profile::metadata::MetadataProfile;
@@ -59,14 +58,11 @@ fn main() {
         let grid = query_grid(budget, 12);
         let mut panel = Panel::new(id, title);
         for &(i, ui) in &settings {
-            let prepared = prepare_with(
-                scenario.clone(),
-                profile_set(i, ui, args.seed),
-                PrepareOptions {
-                    seed: args.seed,
-                    ..Default::default()
-                },
-            );
+            let prepared = metam::Session::from_scenario(scenario.clone())
+                .profiles(profile_set(i, ui, args.seed))
+                .seed(args.seed)
+                .prepare()
+                .expect("prepare");
             let mut series = run_methods(
                 &prepared,
                 &[Method::Metam(MetamConfig {

@@ -2,7 +2,6 @@
 //! (b) Metam vs its variants Nc (no clustering), Eq (no Thompson
 //! sampling) and NcEq (neither).
 
-use metam::pipeline::prepare;
 use metam::{MetamConfig, Method};
 use metam_bench::{query_grid, run_methods, save_json, Args, Panel};
 
@@ -14,7 +13,10 @@ fn main() {
     let mut reports = Vec::new();
 
     let scenario = metam::datagen::repo::price_classification(args.seed);
-    let prepared = prepare(scenario, args.seed);
+    let prepared = metam::Session::from_scenario(scenario)
+        .seed(args.seed)
+        .prepare()
+        .expect("prepare");
     eprintln!("[fig11] {} candidates", prepared.candidates.len());
 
     // (a) ε sweep.

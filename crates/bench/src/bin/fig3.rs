@@ -41,7 +41,10 @@ fn main() {
 
     let mut reports = Vec::new();
     for (id, title, scenario, budget, iarda) in panels {
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[{id}] {} candidates", prepared.candidates.len());
         let methods = metam_bench::standard_methods(args.seed, iarda);
         let grid = query_grid(budget, 12);

@@ -17,7 +17,10 @@ fn main() {
                 target: target.clone(),
             };
         }
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[fig4a] {} candidates", prepared.candidates.len());
         let budget = 500 / scale;
         let methods = metam_bench::standard_methods(args.seed, Some(true));
@@ -36,7 +39,10 @@ fn main() {
                 seed: args.seed,
                 ..Default::default()
             });
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[fig4b] {} union candidates", prepared.candidates.len());
         let budget = 200 / scale.min(4);
         let methods = metam_bench::standard_methods(args.seed, None);

@@ -20,7 +20,10 @@ fn averaged_panel(
 
     for inst in 0..instances {
         let scenario = build(inst);
-        let prepared = metam::pipeline::prepare(scenario, seed ^ inst);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(seed ^ inst)
+            .prepare()
+            .expect("prepare");
         let methods = [
             Method::Metam(metam::MetamConfig {
                 seed: seed ^ inst,

@@ -3,7 +3,6 @@
 //! also plotted for the paper's "fewer queries with specialized profiles"
 //! comparison.
 
-use metam::pipeline::{prepare, prepare_with, PrepareOptions};
 use metam::profile::task_specific::TaskSpecificProfile;
 use metam::profile::{default_profiles, ProfileSet};
 use metam::{MetamConfig, Method};
@@ -43,14 +42,11 @@ fn main() {
     for (id, title, scenario, budget, classification) in panels {
         let grid = query_grid(budget, 12);
         // With task-specific profiles.
-        let prepared_arda = prepare_with(
-            scenario.clone(),
-            arda_profiles(classification, args.seed),
-            PrepareOptions {
-                seed: args.seed,
-                ..Default::default()
-            },
-        );
+        let prepared_arda = metam::Session::from_scenario(scenario.clone())
+            .profiles(arda_profiles(classification, args.seed))
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[{id}] {} candidates", prepared_arda.candidates.len());
         let methods = [
             Method::Metam(MetamConfig {
@@ -66,7 +62,10 @@ fn main() {
             s.label = format!("{}+ARDA", s.label);
         }
         // Generic-profile Metam for contrast.
-        let prepared_generic = prepare(scenario, args.seed);
+        let prepared_generic = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         let generic = run_methods(
             &prepared_generic,
             &[Method::Metam(MetamConfig {

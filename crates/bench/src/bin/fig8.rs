@@ -14,8 +14,11 @@ use metam_bench::{save_json, Args, Panel, Series};
 
 /// Queries Metam needs to reach the 70 % ground-truth lift.
 fn queries_to_ground_truth(scenario: metam::datagen::Scenario, seed: u64, budget: usize) -> usize {
-    let prepared = metam::pipeline::prepare(scenario, seed);
-    let relevance = prepared.relevance();
+    let prepared = metam::Session::from_scenario(scenario)
+        .seed(seed)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.clone().expect("scenarios carry truth");
     let gt = relevance
         .iter()
         .enumerate()

@@ -2,7 +2,6 @@
 //! (UI ∈ {0, 2, 4, 8}) on top of the 5 informative defaults — the solution
 //! quality should hold, at the cost of a few more queries.
 
-use metam::pipeline::{prepare_with, PrepareOptions};
 use metam::profile::synthetic::FixedProfile;
 use metam::profile::{default_profiles, ProfileSet};
 use metam::{MetamConfig, Method};
@@ -45,14 +44,11 @@ fn main() {
         let mut panel = Panel::new(id, title);
         for &ui in &[0usize, 2, 4, 8] {
             // Enough noise values for any candidate count we'll see.
-            let prepared = prepare_with(
-                scenario.clone(),
-                profiles_with_noise(ui, 100_000, args.seed),
-                PrepareOptions {
-                    seed: args.seed,
-                    ..Default::default()
-                },
-            );
+            let prepared = metam::Session::from_scenario(scenario.clone())
+                .profiles(profiles_with_noise(ui, 100_000, args.seed))
+                .seed(args.seed)
+                .prepare()
+                .expect("prepare");
             let mut series = run_methods(
                 &prepared,
                 &[Method::Metam(MetamConfig {

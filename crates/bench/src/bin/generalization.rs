@@ -5,12 +5,7 @@
 use metam::{run_method, MetamConfig, Method};
 use metam_bench::{save_json, Args, TableReport};
 
-fn row_for(
-    prepared: &metam::pipeline::PreparedScenario,
-    theta: f64,
-    budget: usize,
-    seed: u64,
-) -> Vec<String> {
+fn row_for(prepared: &metam::Prepared, theta: f64, budget: usize, seed: u64) -> Vec<String> {
     let methods = [
         Method::Metam(MetamConfig {
             seed,
@@ -50,7 +45,10 @@ fn main() {
                 seed: args.seed,
                 ..Default::default()
             });
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!(
             "[gen] entity linking: {} candidates",
             prepared.candidates.len()
@@ -67,7 +65,10 @@ fn main() {
                 seed: args.seed,
                 ..Default::default()
             });
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[gen] fairness: {} candidates", prepared.candidates.len());
         // Target: a solid lift over the fair baseline.
         let base = {
@@ -89,7 +90,10 @@ fn main() {
                 ..Default::default()
             },
         );
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[gen] clustering: {} candidates", prepared.candidates.len());
         let mut row = vec!["Clustering (θ=0.9)".to_string()];
         row.extend(row_for(&prepared, 0.9, budget.min(50), args.seed));

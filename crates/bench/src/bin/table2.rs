@@ -17,7 +17,10 @@ fn main() {
 
     let mut dump = Vec::new();
     for (name, scenario) in metam::datagen::repo::table2_scenarios(args.seed) {
-        let prepared = metam::pipeline::prepare(scenario, args.seed);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(args.seed)
+            .prepare()
+            .expect("prepare");
         eprintln!("[table2] {name}: {} candidates", prepared.candidates.len());
         let methods = [
             Method::Metam(metam::MetamConfig {

@@ -14,8 +14,7 @@ use std::path::PathBuf;
 
 use metam::core::engine::SearchInputs;
 use metam::core::trace::resample;
-use metam::pipeline::PreparedScenario;
-use metam::{run_method, Method, RunResult};
+use metam::{run_method, Method, Prepared, RunResult};
 use serde::Serialize;
 
 /// Command-line arguments shared by all experiment binaries.
@@ -226,7 +225,7 @@ pub fn query_grid(budget: usize, points: usize) -> Vec<usize> {
 /// Run every method on the prepared scenario and resample each trace on the
 /// grid — the engine behind every utility-vs-queries panel.
 pub fn run_methods(
-    prepared: &PreparedScenario,
+    prepared: &Prepared,
     methods: &[Method],
     theta: Option<f64>,
     budget: usize,
@@ -246,7 +245,7 @@ pub fn run_methods(
 
 /// Run a single method and return the raw result (for query-count tables).
 pub fn run_one(
-    prepared: &PreparedScenario,
+    prepared: &Prepared,
     method: &Method,
     theta: Option<f64>,
     budget: usize,
@@ -256,12 +255,9 @@ pub fn run_one(
 
 /// Borrow a `SearchInputs` with a synthetic task override — used by the
 /// scalability experiments where the model fit would drown the measurement.
-pub fn inputs_with_task<'a>(
-    prepared: &'a PreparedScenario,
-    task: &'a dyn metam::Task,
-) -> SearchInputs<'a> {
+pub fn inputs_with_task<'a>(prepared: &'a Prepared, task: &'a dyn metam::Task) -> SearchInputs<'a> {
     SearchInputs {
-        din: &prepared.scenario.din,
+        din: &prepared.din,
         target_column: prepared.target_column,
         candidates: &prepared.candidates,
         profiles: &prepared.profiles,

@@ -9,10 +9,9 @@
 
 use std::sync::Arc;
 
-use metam::core::engine::SearchInputs;
 use metam::core::task::LinearSyntheticTask;
 use metam::discovery::{Candidate, JoinPath, Materializer};
-use metam::Task;
+use metam::Prepared;
 use metam_table::{Column, Table};
 
 fn splitmix(state: &mut u64) -> f64 {
@@ -24,46 +23,16 @@ fn splitmix(state: &mut u64) -> f64 {
     z as f64 / u64::MAX as f64
 }
 
-/// A self-contained synthetic searchable fixture.
-pub struct ScaledFixture {
-    /// Tiny input dataset.
-    pub din: Table,
-    /// `n` candidates all joining the same small table.
-    pub candidates: Vec<Candidate>,
-    /// Blobby profile vectors.
-    pub profiles: Vec<Vec<f64>>,
-    /// Profile names.
-    pub profile_names: Vec<String>,
-    /// Materializer over the single-table repository.
-    pub materializer: Materializer,
-    /// Cheap synthetic task.
-    pub task: LinearSyntheticTask,
-}
-
-impl ScaledFixture {
-    /// Bundle as search inputs.
-    pub fn inputs(&self) -> SearchInputs<'_> {
-        SearchInputs {
-            din: &self.din,
-            target_column: None,
-            candidates: &self.candidates,
-            profiles: &self.profiles,
-            profile_names: &self.profile_names,
-            materializer: &self.materializer,
-            task: &self.task,
-        }
-    }
-}
-
 /// Build a fixture with `n_candidates` candidates, `n_profiles` profile
-/// dimensions and `n_blobs` profile clusters. A small fraction of
+/// dimensions and `n_blobs` profile clusters, bundled as the same unified
+/// [`Prepared`] struct the real pipeline produces. A small fraction of
 /// candidates (1 in 499) is useful to the synthetic task.
 pub fn scaled_fixture(
     n_candidates: usize,
     n_profiles: usize,
     n_blobs: usize,
     seed: u64,
-) -> ScaledFixture {
+) -> Prepared {
     let rows = 16;
     let din = Table::from_columns(
         "din",
@@ -120,18 +89,20 @@ pub fn scaled_fixture(
     }
     let task = LinearSyntheticTask { base: 0.2, weights };
     let profile_names = (0..n_profiles).map(|i| format!("p{i}")).collect();
-    ScaledFixture {
+    Prepared {
         din,
+        target_column: None,
         candidates,
         profiles,
         profile_names,
         materializer: Materializer::new(tables),
-        task,
+        task: Box::new(task),
+        relevance: None,
     }
 }
 
 /// Run one method for a fixed query budget and return wall-clock seconds.
-pub fn time_method(fixture: &ScaledFixture, method: &metam::Method, budget: usize) -> f64 {
+pub fn time_method(fixture: &Prepared, method: &metam::Method, budget: usize) -> f64 {
     let start = std::time::Instant::now();
     let r = metam::run_method(method, &fixture.inputs(), None, budget);
     let elapsed = start.elapsed().as_secs_f64();
@@ -142,7 +113,7 @@ pub fn time_method(fixture: &ScaledFixture, method: &metam::Method, budget: usiz
 
 /// Guard used by tests: synthetic tasks must respond to the planted useful
 /// candidates.
-pub fn sanity_check(fixture: &ScaledFixture) -> bool {
+pub fn sanity_check(fixture: &Prepared) -> bool {
     let mut t = fixture.din.clone();
     let col = fixture
         .materializer

@@ -38,6 +38,17 @@ pub struct SearchInputs<'a> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StopSearch;
 
+/// Budget left after `spent` queries — the one unbounded-aware computation
+/// every surface (engine, results, reports) shares. A `usize::MAX` budget
+/// stays `usize::MAX` (unbounded), never a huge finite number.
+pub fn remaining_budget(budget: usize, spent: usize) -> usize {
+    if budget == usize::MAX {
+        usize::MAX
+    } else {
+        budget.saturating_sub(spent)
+    }
+}
+
 /// Memoizing, counting wrapper around the task (plus the monotonicity
 /// certification component of Fig. 2).
 pub struct QueryEngine<'a> {
@@ -71,9 +82,9 @@ impl<'a> QueryEngine<'a> {
         self.queries
     }
 
-    /// Remaining budget.
+    /// Remaining budget (`usize::MAX` for an unbounded search).
     pub fn remaining(&self) -> usize {
-        self.budget.saturating_sub(self.queries)
+        remaining_budget(self.budget, self.queries)
     }
 
     /// Number of augmentations the certification component ignored.

@@ -23,6 +23,10 @@
 //! * [`group`] — the group-querying mechanism with escalating subset size
 //!   `t` (P1, combinatorial testing),
 //! * [`metam`] — Algorithm 1 itself,
+//! * [`observer`] — the [`RunObserver`] streaming hook (per-round progress
+//!   callbacks for CLIs and benches),
+//! * [`prepared`] — the unified [`Prepared`] bundle + [`assemble`], the one
+//!   assembly path every data source (synthetic scenario, CSV lake) uses,
 //! * [`minimal`] — the minimality post-check (Definition 6),
 //! * [`baselines`] — Uniform, Overlap, MW, iARDA and Join-Everything,
 //! * [`runner`] — a uniform interface running any method to a trace,
@@ -38,6 +42,8 @@ pub mod engine;
 pub mod group;
 pub mod metam;
 pub mod minimal;
+pub mod observer;
+pub mod prepared;
 pub mod quality;
 pub mod runner;
 pub mod task;
@@ -46,6 +52,8 @@ pub mod trace;
 pub use cluster::{cluster_partition, Clustering};
 pub use engine::{QueryEngine, SearchInputs, StopSearch};
 pub use metam::{Metam, MetamConfig, MetamResult, StopReason};
+pub use observer::{NoopObserver, RoundEvent, RunObserver};
+pub use prepared::{assemble, AssembleOptions, Prepared};
 pub use runner::{run_method, Method, RunResult};
 pub use task::Task;
 pub use trace::{utility_at, TracePoint};

@@ -14,6 +14,7 @@
 //! `T*` vs `T*_c` then passes the minimality check.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use metam_discovery::CandidateId;
 use rand::rngs::StdRng;
@@ -24,6 +25,7 @@ use crate::cluster::{cluster_partition, Clustering};
 use crate::engine::{QueryEngine, SearchInputs, StopSearch};
 use crate::group::GroupState;
 use crate::minimal::identify_minimal;
+use crate::observer::{NoopObserver, RoundEvent, RunObserver};
 use crate::quality::QualityModel;
 use crate::trace::TracePoint;
 
@@ -38,6 +40,19 @@ pub enum StopReason {
     Exhausted,
     /// The round safety limit was hit.
     MaxRounds,
+}
+
+impl fmt::Display for StopReason {
+    /// The one human-readable rendering every surface (CLI, reports,
+    /// benches) shares.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StopReason::ThetaReached => "theta reached (target utility met)",
+            StopReason::BudgetExhausted => "budget exhausted (query limit hit)",
+            StopReason::Exhausted => "exhausted (no candidate improves further)",
+            StopReason::MaxRounds => "max rounds (safety bound hit)",
+        })
+    }
 }
 
 /// Configuration of Algorithm 1. Defaults mirror §VI "Settings":
@@ -125,11 +140,7 @@ pub struct MetamResult {
 impl MetamResult {
     /// Budget left unspent; `usize::MAX` for an unbounded search.
     pub fn queries_remaining(&self) -> usize {
-        if self.budget == usize::MAX {
-            usize::MAX
-        } else {
-            self.budget.saturating_sub(self.queries)
-        }
+        crate::engine::remaining_budget(self.budget, self.queries)
     }
 }
 
@@ -148,6 +159,16 @@ impl Metam {
 
     /// Run goal-oriented discovery over the inputs.
     pub fn run(&self, inputs: &SearchInputs<'_>) -> MetamResult {
+        self.run_with_observer(inputs, &mut NoopObserver)
+    }
+
+    /// [`run`](Self::run) with per-round streaming callbacks. Observation
+    /// is passive — the result is identical to an unobserved run.
+    pub fn run_with_observer(
+        &self,
+        inputs: &SearchInputs<'_>,
+        observer: &mut dyn RunObserver,
+    ) -> MetamResult {
         let cfg = &self.config;
         let n = inputs.candidates.len();
         let mut engine = QueryEngine::new(inputs, cfg.max_queries);
@@ -176,10 +197,12 @@ impl Metam {
             }
         }
 
+        observer.on_search_start(n, clustering.len());
         let mut search = Search {
             cfg,
             inputs,
             clustering: &clustering,
+            observer,
             quality,
             sampler,
             group_state: GroupState::new(cfg.group_cap),
@@ -236,6 +259,7 @@ struct Search<'a, 'b> {
     cfg: &'a MetamConfig,
     inputs: &'a SearchInputs<'b>,
     clustering: &'a Clustering,
+    observer: &'a mut dyn RunObserver,
     quality: QualityModel,
     sampler: ThompsonSampler,
     group_state: GroupState,
@@ -279,6 +303,7 @@ impl Search<'_, '_> {
             }
             let queries_before = engine.queries();
             let (progressed, attempted) = self.one_round(engine, tau)?;
+            self.emit_round(_round + 1, engine);
             if self.theta_reached() {
                 return Ok(StopReason::ThetaReached);
             }
@@ -294,6 +319,24 @@ impl Search<'_, '_> {
             }
         }
         Ok(StopReason::MaxRounds)
+    }
+
+    /// Stream the round outcome to the observer (no effect on the search).
+    fn emit_round(&mut self, round: usize, engine: &QueryEngine<'_>) {
+        let (winner, best) = if self.u_group_best > self.u_d {
+            (&self.t_star_c, self.u_group_best)
+        } else {
+            (&self.t_star, self.u_d)
+        };
+        let selected: Vec<CandidateId> = winner.iter().copied().collect();
+        self.observer.on_round(&RoundEvent {
+            round,
+            queries: engine.queries(),
+            queries_remaining: engine.remaining(),
+            best_utility: best,
+            base_utility: self.base_utility,
+            selected: &selected,
+        });
     }
 
     /// Lines 7–22 of Algorithm 1. Returns `(improved, attempted)`: whether

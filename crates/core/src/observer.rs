@@ -1,0 +1,90 @@
+//! Streaming observation of a running search.
+//!
+//! A [`RunObserver`] receives a callback after every outer round of
+//! Algorithm 1: round number, queries spent so far, the best utility seen,
+//! and the current best solution. The CLI uses it to stream progress while
+//! a discover run is in flight; benches can record per-round trajectories
+//! without re-running the search. Observation is passive — it never touches
+//! the RNG stream or the query budget, so an observed run is bit-identical
+//! to an unobserved one.
+
+use metam_discovery::CandidateId;
+
+/// Snapshot handed to [`RunObserver::on_round`] after each outer round.
+#[derive(Debug, Clone)]
+pub struct RoundEvent<'a> {
+    /// 1-based outer round number.
+    pub round: usize,
+    /// Task queries spent so far (including certification overhead).
+    pub queries: usize,
+    /// Budget left (`usize::MAX` for an unbounded search).
+    pub queries_remaining: usize,
+    /// Best utility reached so far (max over the sequential and group
+    /// solutions).
+    pub best_utility: f64,
+    /// Utility of the bare `Din`.
+    pub base_utility: f64,
+    /// The current best solution (ascending candidate ids).
+    pub selected: &'a [CandidateId],
+}
+
+/// Per-round callbacks from a running Metam search.
+///
+/// All methods have no-op defaults, so an observer implements only what it
+/// cares about. Closures `FnMut(&RoundEvent)` implement the trait directly:
+///
+/// ```
+/// use metam_core::observer::{RoundEvent, RunObserver};
+/// let mut rounds = 0usize;
+/// let mut observer = |_e: &RoundEvent<'_>| rounds += 1;
+/// // `&mut observer` can now be passed to `Metam::run_with_observer`.
+/// let _: &mut dyn RunObserver = &mut observer;
+/// ```
+pub trait RunObserver {
+    /// The search is about to start: candidate count and cluster count
+    /// (after any homogeneity fallback).
+    fn on_search_start(&mut self, n_candidates: usize, n_clusters: usize) {
+        let _ = (n_candidates, n_clusters);
+    }
+
+    /// One outer round of Algorithm 1 finished.
+    fn on_round(&mut self, event: &RoundEvent<'_>) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing observer behind `Metam::run`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl RunObserver for NoopObserver {}
+
+impl<F: FnMut(&RoundEvent<'_>)> RunObserver for F {
+    fn on_round(&mut self, event: &RoundEvent<'_>) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_observers_receive_rounds() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |e: &RoundEvent<'_>| seen.push((e.round, e.queries));
+            let observer: &mut dyn RunObserver = &mut obs;
+            observer.on_search_start(10, 3);
+            observer.on_round(&RoundEvent {
+                round: 1,
+                queries: 4,
+                queries_remaining: 96,
+                best_utility: 0.5,
+                base_utility: 0.4,
+                selected: &[2],
+            });
+        }
+        assert_eq!(seen, vec![(1, 4)]);
+    }
+}

@@ -1,0 +1,188 @@
+//! The unified "everything materialized for searching" bundle.
+//!
+//! Every data world — synthetic scenarios, on-disk CSV lakes, custom
+//! [`DataSource`](https://docs.rs/metam) implementations — funnels into one
+//! [`Prepared`] value via [`assemble`]: index the repository, enumerate
+//! candidate augmentations (Definition 4), evaluate the profile vectors on
+//! a seeded row sample (§VI "Settings"), and bundle the downstream task.
+//! Search methods then borrow [`Prepared::inputs`].
+
+use std::sync::Arc;
+
+use metam_discovery::path::PathConfig;
+use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
+use metam_profile::ProfileSet;
+use metam_table::Table;
+
+use crate::engine::SearchInputs;
+use crate::task::Task;
+
+/// Assembly knobs shared by every data source.
+#[derive(Debug, Clone)]
+pub struct AssembleOptions {
+    /// Join-path enumeration limits.
+    pub path: PathConfig,
+    /// Cap on generated candidates.
+    pub max_candidates: usize,
+    /// Rows sampled for profile estimation (paper: 100).
+    pub profile_sample: usize,
+    /// Seed for profile sampling.
+    pub seed: u64,
+}
+
+impl Default for AssembleOptions {
+    fn default() -> Self {
+        AssembleOptions {
+            path: PathConfig::default(),
+            max_candidates: 100_000,
+            profile_sample: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// A data source with everything materialized for searching: the input
+/// dataset, candidate augmentations, their profile vectors, a materializer
+/// over the repository, and the downstream task. One type serves both the
+/// synthetic-scenario and on-disk-lake worlds.
+pub struct Prepared {
+    /// The input dataset `Din`.
+    pub din: Table,
+    /// Index of the target column in `din`, if supervised.
+    pub target_column: Option<usize>,
+    /// Candidate augmentations.
+    pub candidates: Vec<Candidate>,
+    /// Profile vectors per candidate.
+    pub profiles: Vec<Vec<f64>>,
+    /// Profile names.
+    pub profile_names: Vec<String>,
+    /// Materializer over the repository tables.
+    pub materializer: Materializer,
+    /// The instantiated downstream task.
+    pub task: Box<dyn Task>,
+    /// Planted relevance per candidate, when the source carries ground
+    /// truth (synthetic scenarios) — used by Fig. 8's "queries to ground
+    /// truth" metric. `None` for real lakes.
+    pub relevance: Option<Vec<f64>>,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("din", &self.din.name)
+            .field("target_column", &self.target_column)
+            .field("candidates", &self.candidates.len())
+            .field("profile_names", &self.profile_names)
+            .field("task", &self.task.name())
+            .field("relevance", &self.relevance.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prepared {
+    /// Borrow as the search-input bundle every method consumes.
+    pub fn inputs(&self) -> SearchInputs<'_> {
+        SearchInputs {
+            din: &self.din,
+            target_column: self.target_column,
+            candidates: &self.candidates,
+            profiles: &self.profiles,
+            profile_names: &self.profile_names,
+            materializer: &self.materializer,
+            task: self.task.as_ref(),
+        }
+    }
+}
+
+/// Assemble search inputs from a resolved input dataset and repository:
+/// index the tables, enumerate candidates, evaluate profiles, bundle the
+/// task. This is the single assembly path behind `metam::session::Session`
+/// and the deprecated `prepare*` free functions.
+pub fn assemble(
+    din: Table,
+    tables: Vec<Arc<Table>>,
+    target_column: Option<usize>,
+    task: Box<dyn Task>,
+    profile_set: &ProfileSet,
+    options: &AssembleOptions,
+) -> Prepared {
+    let index = DiscoveryIndex::build(tables.clone());
+    let candidates = generate_candidates(&din, &index, &options.path, options.max_candidates);
+    let materializer = Materializer::new(tables);
+    let profiles = profile_set.evaluate_all(
+        &din,
+        target_column,
+        &candidates,
+        &materializer,
+        options.profile_sample,
+        options.seed,
+    );
+    let profile_names = profile_set.names().into_iter().map(String::from).collect();
+    Prepared {
+        din,
+        target_column,
+        candidates,
+        profiles,
+        profile_names,
+        materializer,
+        task,
+        relevance: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::LinearSyntheticTask;
+    use metam_profile::default_profiles;
+    use metam_table::Column;
+
+    #[test]
+    fn assemble_aligns_candidates_and_profiles() {
+        let n = 30;
+        let din = Table::from_columns(
+            "din",
+            vec![
+                Column::from_strings(
+                    Some("zip".into()),
+                    (0..n).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(Some("y".into()), (0..n).map(|i| Some(i as f64)).collect()),
+            ],
+        )
+        .unwrap();
+        let ext = Table::from_columns(
+            "ext",
+            vec![
+                Column::from_strings(
+                    Some("zipcode".into()),
+                    (0..n).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("v".into()),
+                    (0..n).map(|i| Some(i as f64 * 2.0)).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let task = Box::new(LinearSyntheticTask {
+            base: 0.5,
+            weights: vec![0.1],
+        });
+        let prepared = assemble(
+            din,
+            vec![Arc::new(ext)],
+            Some(1),
+            task,
+            &default_profiles(),
+            &AssembleOptions::default(),
+        );
+        assert!(!prepared.candidates.is_empty());
+        assert_eq!(prepared.candidates.len(), prepared.profiles.len());
+        assert_eq!(prepared.profile_names.len(), 5);
+        assert!(prepared.relevance.is_none());
+        let inputs = prepared.inputs();
+        assert_eq!(inputs.target_column, Some(1));
+        assert_eq!(inputs.candidates.len(), prepared.candidates.len());
+    }
+}

@@ -16,18 +16,27 @@
 //!   [`Task`](metam_core::Task),
 //! * [`export`] — write a `metam-datagen` scenario out *as* a CSV lake
 //!   (the `datagen → lake → rediscover` round trip is the subsystem's
-//!   self-validating integration test),
-//! * [`cli`] — the `metam` binary: `scan`, `profile` and `discover`
-//!   subcommands running end-to-end over a directory.
+//!   self-validating integration test).
+//!
+//! The user-facing front door — `Session::from_lake` / `from_catalog`, the
+//! `metam` CLI binary — lives in the umbrella `metam` crate (this crate
+//! cannot depend on it). The non-deprecated building blocks here are the
+//! catalog, [`parse_task`] and [`prepare::repository_tables`]:
 //!
 //! ```no_run
-//! use metam_lake::{parse_task, prepare_from_catalog, LakeCatalog, LakeOptions};
+//! use metam_core::prepared::{assemble, AssembleOptions};
+//! use metam_lake::{parse_task, prepare::repository_tables, LakeCatalog};
+//! use metam_profile::default_profiles;
 //!
 //! let catalog = LakeCatalog::scan("./lake")?;
 //! let din = catalog.load_table("din")?;
 //! let parsed = parse_task("classification:label", 7)?;
-//! let options = LakeOptions { target: Some(parsed.target), ..Default::default() };
-//! let prepared = prepare_from_catalog(&catalog, din, parsed.task, &options)?;
+//! let target_column = parsed.target.as_deref().and_then(|t| din.column_index(t).ok());
+//! let tables = repository_tables(&catalog, &din, None)?;
+//! let prepared = assemble(
+//!     din, tables, target_column, parsed.task,
+//!     &default_profiles(), &AssembleOptions::default(),
+//! );
 //! let result = metam_core::Metam::default().run(&prepared.inputs());
 //! # Ok::<(), metam_lake::LakeError>(())
 //! ```
@@ -35,7 +44,6 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
-pub mod cli;
 pub mod export;
 pub mod manifest;
 pub mod prepare;
@@ -43,9 +51,11 @@ pub mod stats;
 
 pub use catalog::{LakeCatalog, TableMeta};
 pub use export::export_scenario;
-pub use prepare::{
-    parse_task, prepare_from_catalog, LakeOptions, ParsedTask, PreparedLake, TaskKind,
-};
+#[allow(deprecated)]
+pub use prepare::PreparedLake;
+pub use prepare::{parse_task, LakeOptions, ParsedTask, TaskKind};
+#[allow(deprecated)]
+pub use prepare::{prepare_from_catalog, prepare_from_catalog_with};
 pub use stats::ColumnStats;
 
 use std::fmt;

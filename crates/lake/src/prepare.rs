@@ -1,25 +1,27 @@
 //! Plug a [`LakeCatalog`] into the discovery → profiles → search flow.
 //!
-//! [`prepare_from_catalog`] is the lake-side twin of the umbrella crate's
-//! `pipeline::prepare`: instead of a synthetic [`Scenario`] it takes a
-//! scanned directory, an input dataset and a **user-supplied task**, and
-//! assembles the `SearchInputs` bundle every search method consumes.
+//! The supported front door is `metam::session::Session::from_catalog` /
+//! `from_lake` in the umbrella crate — it resolves the input dataset, the
+//! task and the target, then assembles one [`Prepared`] bundle through
+//! [`metam_core::prepared::assemble`]. The free functions here remain as
+//! thin deprecated wrappers for one release, and [`parse_task`] stays the
+//! single authority on CLI task specs.
 
 use std::sync::Arc;
 
-use metam_core::engine::SearchInputs;
-use metam_core::Task;
+use metam_core::prepared::{assemble, AssembleOptions};
+use metam_core::{Prepared, Task};
 use metam_discovery::path::PathConfig;
-use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
 use metam_profile::{default_profiles, ProfileSet};
 use metam_table::Table;
 use metam_tasks::classification::ClassificationTask;
+use metam_tasks::clustering::ClusteringFitTask;
 use metam_tasks::regression::RegressionTask;
 
 use crate::{LakeCatalog, LakeError, Result};
 
-/// Knobs for [`prepare_from_catalog`] (mirrors `pipeline::PrepareOptions`,
-/// plus the target-column name a real lake cannot infer).
+/// Knobs for [`prepare_from_catalog`] (mirrors the session builder's
+/// assembly options, plus the target-column name a real lake cannot infer).
 #[derive(Debug, Clone)]
 pub struct LakeOptions {
     /// Join-path enumeration limits.
@@ -56,98 +58,69 @@ impl Default for LakeOptions {
     }
 }
 
-/// A lake with everything materialized for searching. Owns the input
-/// dataset, candidates, profiles and task; borrow [`inputs`](Self::inputs)
-/// to run any search method.
-pub struct PreparedLake {
-    /// The input dataset.
-    pub din: Table,
-    /// Index of the target column in `din`, if supervised.
-    pub target_column: Option<usize>,
-    /// Candidate augmentations discovered in the lake.
-    pub candidates: Vec<Candidate>,
-    /// Profile vectors per candidate.
-    pub profiles: Vec<Vec<f64>>,
-    /// Profile names.
-    pub profile_names: Vec<String>,
-    /// Materializer over the lake tables.
-    pub materializer: Materializer,
-    /// The downstream task.
-    pub task: Box<dyn Task>,
-}
+/// The old name of the unified [`Prepared`] bundle.
+#[deprecated(since = "0.2.0", note = "use metam_core::Prepared (one unified type)")]
+pub type PreparedLake = Prepared;
 
-impl PreparedLake {
-    /// Borrow as the search-input bundle every method consumes.
-    pub fn inputs(&self) -> SearchInputs<'_> {
-        SearchInputs {
-            din: &self.din,
-            target_column: self.target_column,
-            candidates: &self.candidates,
-            profiles: &self.profiles,
-            profile_names: &self.profile_names,
-            materializer: &self.materializer,
-            task: self.task.as_ref(),
-        }
-    }
+/// Resolve the repository tables a prepare run should search over:
+/// everything in the catalog except the withheld names.
+pub fn repository_tables(
+    catalog: &LakeCatalog,
+    din: &Table,
+    exclude_tables: Option<&[String]>,
+) -> Result<Vec<Arc<Table>>> {
+    let excluded: Vec<&str> = match exclude_tables {
+        Some(names) => names.iter().map(String::as_str).collect(),
+        None => vec![din.name.as_str()],
+    };
+    catalog.load_all_except(&excluded)
 }
 
 /// [`prepare_from_catalog_with`] using the paper's default profile set.
+#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_catalog")]
 pub fn prepare_from_catalog(
     catalog: &LakeCatalog,
     din: Table,
     task: Box<dyn Task>,
     options: &LakeOptions,
-) -> Result<PreparedLake> {
+) -> Result<Prepared> {
+    #[allow(deprecated)]
     prepare_from_catalog_with(catalog, din, task, default_profiles(), options)
 }
 
 /// Full lake assembly: load every catalog table (minus the input dataset
 /// itself), index, enumerate candidates, evaluate profiles, bundle.
+#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_catalog")]
 pub fn prepare_from_catalog_with(
     catalog: &LakeCatalog,
     din: Table,
     task: Box<dyn Task>,
     profile_set: ProfileSet,
     options: &LakeOptions,
-) -> Result<PreparedLake> {
-    if let Some(target) = options.target.as_deref() {
-        if din.column_index(target).is_err() {
-            return Err(LakeError::BadArgument(format!(
+) -> Result<Prepared> {
+    let target_column = match options.target.as_deref() {
+        Some(target) => Some(din.column_index(target).map_err(|_| {
+            LakeError::BadArgument(format!(
                 "target column {target:?} not found in input dataset {:?}",
                 din.name
-            )));
-        }
-    }
-    let excluded: Vec<&str> = match &options.exclude_tables {
-        Some(names) => names.iter().map(String::as_str).collect(),
-        None => vec![din.name.as_str()],
+            ))
+        })?),
+        None => None,
     };
-    let tables: Vec<Arc<Table>> = catalog.load_all_except(&excluded)?;
-    let index = DiscoveryIndex::build(tables.clone());
-    let candidates = generate_candidates(&din, &index, &options.path, options.max_candidates);
-    let materializer = Materializer::new(tables);
-    let target_column = options
-        .target
-        .as_deref()
-        .and_then(|t| din.column_index(t).ok());
-    let profiles = profile_set.evaluate_all(
-        &din,
-        target_column,
-        &candidates,
-        &materializer,
-        options.profile_sample,
-        options.seed,
-    );
-    let profile_names = profile_set.names().into_iter().map(String::from).collect();
-    Ok(PreparedLake {
+    let tables = repository_tables(catalog, &din, options.exclude_tables.as_deref())?;
+    Ok(assemble(
         din,
+        tables,
         target_column,
-        candidates,
-        profiles,
-        profile_names,
-        materializer,
         task,
-    })
+        &profile_set,
+        &AssembleOptions {
+            path: options.path,
+            max_candidates: options.max_candidates,
+            profile_sample: options.profile_sample,
+            seed: options.seed,
+        },
+    ))
 }
 
 /// A CLI-parsable task kind.
@@ -157,55 +130,75 @@ pub enum TaskKind {
     Classification,
     /// Random-forest regression on a named target.
     Regression,
+    /// Unsupervised k-means clustering scored by silhouette (no target).
+    Clustering,
 }
 
-/// A task parsed from a CLI spec: the boxed task, its target column, and
-/// the recognized kind (so callers never re-parse the spec string).
+/// A task parsed from a CLI spec: the boxed task, its target column (when
+/// the kind is supervised), and the recognized kind (so callers never
+/// re-parse the spec string).
 pub struct ParsedTask {
     /// The instantiated task.
     pub task: Box<dyn Task>,
-    /// Target column name in the input dataset.
-    pub target: String,
+    /// Target column name in the input dataset; `None` for unsupervised
+    /// kinds (clustering).
+    pub target: Option<String>,
     /// Which kind the spec named.
     pub kind: TaskKind,
 }
 
-/// Parse a CLI task spec `kind:target` into a task plus its target column.
+/// Parse a CLI task spec `kind:arg` into a task plus its target column.
 ///
-/// Supported kinds (the tasks trainable on any table, no ground truth
-/// needed): `classification:<column>` and `regression:<column>`.
+/// Supported kinds (the tasks runnable on any table, no ground truth
+/// needed): `classification:<column>`, `regression:<column>` and
+/// `clustering:<k>` (unsupervised, `k ≥ 2` clusters).
 pub fn parse_task(spec: &str, seed: u64) -> Result<ParsedTask> {
-    let (kind, target) = spec.split_once(':').ok_or_else(|| {
+    let (kind, arg) = spec.split_once(':').ok_or_else(|| {
         LakeError::BadArgument(format!(
-            "task spec must be kind:target (e.g. classification:label), got {spec:?}"
+            "task spec must be kind:arg (e.g. classification:label or clustering:3), got {spec:?}"
         ))
     })?;
-    let target = target.trim();
-    if target.is_empty() {
+    let arg = arg.trim();
+    if arg.is_empty() {
         return Err(LakeError::BadArgument(
-            "task spec has an empty target".into(),
+            "task spec has an empty argument".into(),
         ));
     }
-    let (task, kind): (Box<dyn Task>, TaskKind) = match kind.trim() {
+    let (task, target, kind): (Box<dyn Task>, Option<String>, TaskKind) = match kind.trim() {
         "classification" => (
-            Box::new(ClassificationTask::new(target, seed)),
+            Box::new(ClassificationTask::new(arg, seed)),
+            Some(arg.into()),
             TaskKind::Classification,
         ),
         "regression" => (
-            Box::new(RegressionTask::new(target, seed)),
+            Box::new(RegressionTask::new(arg, seed)),
+            Some(arg.into()),
             TaskKind::Regression,
         ),
+        "clustering" => {
+            let k: usize = arg.parse().map_err(|_| {
+                LakeError::BadArgument(format!(
+                    "clustering needs a cluster count (e.g. clustering:3), got {arg:?}"
+                ))
+            })?;
+            if k < 2 {
+                return Err(LakeError::BadArgument(format!(
+                    "clustering needs at least 2 clusters, got {k}"
+                )));
+            }
+            (
+                Box::new(ClusteringFitTask::new(k, seed)),
+                None,
+                TaskKind::Clustering,
+            )
+        }
         other => {
             return Err(LakeError::BadArgument(format!(
-                "unknown task kind {other:?} (expected classification or regression)"
+                "unknown task kind {other:?} (expected classification, regression or clustering)"
             )))
         }
     };
-    Ok(ParsedTask {
-        task,
-        target: target.into(),
-        kind,
-    })
+    Ok(ParsedTask { task, target, kind })
 }
 
 #[cfg(test)]
@@ -223,6 +216,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn prepare_assembles_aligned_artifacts() {
         let dir = tmp_lake("ok");
         let din_rows: String = (0..40)
@@ -236,7 +230,7 @@ mod tests {
         let din = catalog.load_table("din").unwrap();
         let ParsedTask { task, target, .. } = parse_task("classification:label", 3).unwrap();
         let options = LakeOptions {
-            target: Some(target),
+            target,
             seed: 3,
             ..Default::default()
         };
@@ -249,12 +243,14 @@ mod tests {
         assert_eq!(prepared.candidates.len(), prepared.profiles.len());
         assert_eq!(prepared.profile_names.len(), 5);
         assert_eq!(prepared.target_column, Some(1));
+        assert!(prepared.relevance.is_none(), "a real lake has no truth");
         // The din table itself must not appear as a candidate source.
         assert!(prepared.candidates.iter().all(|c| c.source_table != "din"));
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn external_din_keeps_same_named_lake_table_in_play() {
         let dir = tmp_lake("external");
         // The lake owns a table also called "din" — different data.
@@ -273,7 +269,7 @@ mod tests {
         assert_eq!(din.name, "din", "stems collide by construction");
         let ParsedTask { task, target, .. } = parse_task("classification:label", 0).unwrap();
         let options = LakeOptions {
-            target: Some(target),
+            target,
             exclude_tables: Some(vec![]),
             ..Default::default()
         };
@@ -287,6 +283,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn missing_target_is_a_clear_error() {
         let dir = tmp_lake("badtarget");
         fs::write(dir.join("din.csv"), "zip,y\nz1,1\n").unwrap();
@@ -306,18 +303,36 @@ mod tests {
 
     #[test]
     fn parse_task_accepts_known_kinds() {
-        assert!(parse_task("classification:label", 0).is_ok());
+        let parsed = parse_task("classification:label", 0).unwrap();
+        assert_eq!(parsed.kind, TaskKind::Classification);
+        assert_eq!(parsed.target.as_deref(), Some("label"));
         assert!(parse_task("regression: price ", 0).is_ok());
-        assert!(matches!(
-            parse_task("clustering:3", 0),
-            Err(LakeError::BadArgument(_))
-        ));
         assert!(matches!(
             parse_task("regression:", 0),
             Err(LakeError::BadArgument(_))
         ));
         assert!(matches!(
             parse_task("classification", 0),
+            Err(LakeError::BadArgument(_))
+        ));
+        assert!(matches!(
+            parse_task("frobnicate:x", 0),
+            Err(LakeError::BadArgument(_))
+        ));
+    }
+
+    #[test]
+    fn parse_task_accepts_clustering() {
+        let parsed = parse_task("clustering:3", 0).unwrap();
+        assert_eq!(parsed.kind, TaskKind::Clustering);
+        assert_eq!(parsed.target, None, "clustering is unsupervised");
+        assert_eq!(parsed.task.name(), "clustering-fit");
+        assert!(matches!(
+            parse_task("clustering:x", 0),
+            Err(LakeError::BadArgument(_))
+        ));
+        assert!(matches!(
+            parse_task("clustering:1", 0),
             Err(LakeError::BadArgument(_))
         ));
     }

@@ -228,6 +228,48 @@ pub(crate) fn silhouette(points: &[Vec<f64>], assignment: &[usize], k: usize) ->
     }
 }
 
+/// Min-max normalize each column to `[0, 1]`.
+fn normalize_columns(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    columns
+        .iter()
+        .map(|col| {
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let span = (hi - lo).max(1e-12);
+            col.iter().map(|v| (v - lo) / span).collect()
+        })
+        .collect()
+}
+
+/// Cluster over the candidate feature subspaces — every single column,
+/// plus all columns together — and keep the subspace whose k-means
+/// clustering has the best (scale-free) silhouette. Standard practice when
+/// some attributes are cluster-informative and others are noise. Returns
+/// `(silhouette, assignment)` of the winner.
+fn best_subspace_clustering(
+    normalized: &[Vec<f64>],
+    k: usize,
+    seed: u64,
+) -> Option<(f64, Vec<usize>)> {
+    let n = normalized.first().map_or(0, Vec::len);
+    let mut subspaces: Vec<Vec<usize>> = (0..normalized.len()).map(|i| vec![i]).collect();
+    if normalized.len() > 1 {
+        subspaces.push((0..normalized.len()).collect());
+    }
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for subspace in subspaces {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|r| subspace.iter().map(|&c| normalized[c][r]).collect())
+            .collect();
+        let assignment = kmeans(&points, k, seed, 25);
+        let score = silhouette(&points, &assignment, k);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, assignment));
+        }
+    }
+    best
+}
+
 impl Task for ClusteringTask {
     fn name(&self) -> &str {
         "clustering"
@@ -238,39 +280,47 @@ impl Task for ClusteringTask {
         if columns.is_empty() || columns[0].len() != self.truth.len() {
             return 0.0;
         }
-        let n = columns[0].len();
-        let normalized: Vec<Vec<f64>> = columns
-            .iter()
-            .map(|col| {
-                let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
-                let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let span = (hi - lo).max(1e-12);
-                col.iter().map(|v| (v - lo) / span).collect()
-            })
-            .collect();
-
-        // Candidate feature subspaces: every single column, plus all
-        // columns together. The pipeline picks the subspace whose k-means
-        // clustering has the best (scale-free) silhouette — standard
-        // practice when some attributes are cluster-informative and others
-        // are noise.
-        let mut subspaces: Vec<Vec<usize>> = (0..normalized.len()).map(|i| vec![i]).collect();
-        if normalized.len() > 1 {
-            subspaces.push((0..normalized.len()).collect());
-        }
-        let mut best: Option<(f64, Vec<usize>)> = None;
-        for subspace in subspaces {
-            let points: Vec<Vec<f64>> = (0..n)
-                .map(|r| subspace.iter().map(|&c| normalized[c][r]).collect())
-                .collect();
-            let assignment = kmeans(&points, self.k, self.seed, 25);
-            let score = silhouette(&points, &assignment, self.k);
-            if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                best = Some((score, assignment));
-            }
-        }
-        match best {
+        let normalized = normalize_columns(&columns);
+        match best_subspace_clustering(&normalized, self.k, self.seed) {
             Some((_, assignment)) => purity(&assignment, &self.truth, self.k),
+            None => 0.0,
+        }
+    }
+}
+
+/// Unsupervised clustering-fit task: no ground-truth labels required, so it
+/// runs over any real lake (the ROADMAP's "expose clustering once it can
+/// run without planted truth"). Utility is the silhouette coefficient of
+/// the best-separating feature subspace, mapped from `[-1, 1]` to `[0, 1]`
+/// — augmenting a column that carves the rows into `k` crisp groups lifts
+/// it, noise does not.
+pub struct ClusteringFitTask {
+    /// Number of clusters.
+    pub k: usize,
+    /// Seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl ClusteringFitTask {
+    /// New unsupervised clustering task with `k` clusters.
+    pub fn new(k: usize, seed: u64) -> ClusteringFitTask {
+        ClusteringFitTask { k: k.max(2), seed }
+    }
+}
+
+impl Task for ClusteringFitTask {
+    fn name(&self) -> &str {
+        "clustering-fit"
+    }
+
+    fn utility(&self, table: &Table) -> f64 {
+        let (columns, _names) = numeric_columns(table);
+        if columns.is_empty() || columns[0].len() < 3 {
+            return 0.0;
+        }
+        let normalized = normalize_columns(&columns);
+        match best_subspace_clustering(&normalized, self.k, self.seed) {
+            Some((silhouette, _)) => ((silhouette + 1.0) / 2.0).clamp(0.0, 1.0),
             None => 0.0,
         }
     }
@@ -359,5 +409,50 @@ mod tests {
             noised <= base + 0.1,
             "noise must not look useful: base={base} noised={noised}"
         );
+    }
+
+    #[test]
+    fn unsupervised_fit_rewards_separating_augmentation() {
+        // Same scenario, but scored without any planted truth: the ONI
+        // column separates the rows into crisp clusters, so the silhouette
+        // utility must rise; a noisy shelf column must not beat it.
+        let s = build_clustering(&ClusteringConfig::default());
+        let metam_datagen::TaskSpec::Clustering { k, .. } = &s.spec else {
+            panic!()
+        };
+        let task = ClusteringFitTask::new(*k, 0);
+        let base = task.utility(&s.din);
+        assert!((0.0..=1.0).contains(&base));
+
+        let oni = s
+            .tables
+            .iter()
+            .find(|t| t.name == "nutrient_intake")
+            .unwrap();
+        let col = left_join_column(&s.din, 0, oni, 0, oni.column_index("oni_score").unwrap())
+            .unwrap()
+            .with_name("aug0_oni");
+        let boosted = task.utility(&s.din.with_column(col).unwrap());
+        assert!(
+            boosted > base + 0.05,
+            "a crisply clustered augmentation must lift the fit: base={base} boosted={boosted}"
+        );
+        assert!((0.0..=1.0).contains(&boosted));
+    }
+
+    #[test]
+    fn unsupervised_fit_handles_degenerate_tables() {
+        use metam_table::{Column, Table};
+        let task = ClusteringFitTask::new(3, 1);
+        let empty = Table::from_columns(
+            "t",
+            vec![Column::from_strings(
+                Some("s".into()),
+                vec![Some("a".into()), Some("b".into())],
+            )],
+        )
+        .unwrap();
+        assert_eq!(task.utility(&empty), 0.0, "no numeric columns");
+        assert!(ClusteringFitTask::new(0, 1).k >= 2, "k is floored");
     }
 }

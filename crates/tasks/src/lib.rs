@@ -36,4 +36,5 @@ pub mod whatif;
 
 pub use builder::build_task;
 pub use classification::ClassificationTask;
+pub use clustering::ClusteringFitTask;
 pub use regression::RegressionTask;

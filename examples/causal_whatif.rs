@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example causal_whatif`
 
-use metam::pipeline::prepare;
-use metam::{Metam, MetamConfig};
+use metam::{Metam, MetamConfig, Session};
 
 fn main() {
     let seed = 3;
@@ -21,7 +20,10 @@ fn main() {
         println!("intervened attribute: {intervened}");
         println!("ground-truth affected attributes: {affected:?}\n");
     }
-    let prepared = prepare(scenario, seed);
+    let prepared = Session::from_scenario(scenario)
+        .seed(seed)
+        .prepare()
+        .expect("prepare");
     println!(
         "{} candidate augmentations (incl. erroneous joins)",
         prepared.candidates.len()

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example custom_task`
 
-use metam::pipeline::{prepare_with, PrepareOptions};
-use metam::profile::default_profiles;
-use metam::{Metam, MetamConfig, Task};
+use metam::{Metam, MetamConfig, Session, Task};
 use metam_table::Table;
 
 /// Utility = average over augmented columns of
@@ -67,17 +65,14 @@ fn pearson_opt(xs: &[Option<f64>], ys: &[Option<f64>]) -> f64 {
 
 fn main() {
     let seed = 5;
-    // Reuse a synthetic repository, but swap in our own task.
+    // Reuse a synthetic repository, but swap in our own task — the
+    // builder's `.task(...)` overrides the scenario's default.
     let scenario = metam::datagen::repo::price_classification(seed);
-    let mut prepared = prepare_with(
-        scenario,
-        default_profiles(),
-        PrepareOptions {
-            seed,
-            ..Default::default()
-        },
-    );
-    prepared.task = Box::new(CoverageDiversityTask);
+    let prepared = Session::from_scenario(scenario)
+        .task(CoverageDiversityTask)
+        .seed(seed)
+        .prepare()
+        .expect("prepare");
 
     let result = Metam::new(MetamConfig {
         theta: Some(0.85),

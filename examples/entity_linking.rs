@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example entity_linking`
 
-use metam::pipeline::prepare;
-use metam::{run_method, MetamConfig, Method};
+use metam::{run_method, MetamConfig, Method, Session};
 
 fn main() {
     let seed = 11;
@@ -17,7 +16,10 @@ fn main() {
             seed,
             ..Default::default()
         });
-    let prepared = prepare(scenario, seed);
+    let prepared = Session::from_scenario(scenario)
+        .seed(seed)
+        .prepare()
+        .expect("prepare");
     println!("{} candidate augmentations\n", prepared.candidates.len());
 
     println!(

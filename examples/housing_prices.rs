@@ -8,13 +8,16 @@
 //!
 //! Run with: `cargo run --release --example housing_prices`
 
-use metam::pipeline::prepare;
-use metam::{run_method, MetamConfig, Method};
+use metam::{run_method, MetamConfig, Method, Session};
 
 fn main() {
     let seed = 7;
     let scenario = metam::datagen::repo::price_classification(seed);
-    let prepared = prepare(scenario, seed);
+    let prepared = Session::from_scenario(scenario)
+        .seed(seed)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.as_deref().expect("planted truth");
     let theta = Some(0.75);
     let budget = 500;
 
@@ -66,10 +69,9 @@ fn main() {
     );
     for &id in &r.selected {
         let c = &prepared.candidates[id];
-        let relevance = prepared.relevance()[id];
         println!(
             "  {} (planted relevance {:.2}) — joined from table {:?}",
-            c.name, relevance, c.source_table
+            c.name, relevance[id], c.source_table
         );
     }
 }

@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example lake_discovery`
 
 use metam::lake::{export_scenario, LakeCatalog};
-use metam::pipeline::{prepare_from_lake, PrepareOptions};
-use metam::tasks::ClassificationTask;
-use metam::{Metam, MetamConfig};
+use metam::{Metam, MetamConfig, Session};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("metam-lake-example-{}", std::process::id()));
@@ -36,20 +34,14 @@ fn main() {
         rescan.cache_misses()
     );
 
-    // 3. Pick an input dataset + task, assemble, search.
-    let din = catalog.load_table("din").expect("din.csv is in the lake");
-    let task = Box::new(ClassificationTask::new("label", 7));
-    let prepared = prepare_from_lake(
-        &catalog,
-        din,
-        task,
-        Some("label"),
-        PrepareOptions {
-            seed: 7,
-            ..Default::default()
-        },
-    )
-    .expect("prepare");
+    // 3. Pick an input dataset + task through the Session builder,
+    //    assemble, search.
+    let prepared = Session::from_catalog(rescan)
+        .din("din")
+        .task_spec("classification:label")
+        .seed(7)
+        .prepare()
+        .expect("prepare");
     println!("{} candidate augmentations", prepared.candidates.len());
 
     let result = Metam::new(MetamConfig {

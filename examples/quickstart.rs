@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use metam::pipeline::prepare;
-use metam::{Metam, MetamConfig};
+use metam::{Metam, MetamConfig, Session};
 
 fn main() {
     // 1. A scenario: Din = housing table; repository = crime/taxi/Walmart
@@ -22,7 +21,10 @@ fn main() {
     );
 
     // 2. Discover candidates, compute data profiles, instantiate the task.
-    let prepared = prepare(scenario, 42);
+    let prepared = Session::from_scenario(scenario)
+        .seed(42)
+        .prepare()
+        .expect("prepare");
     println!(
         "candidate augmentations discovered: {}",
         prepared.candidates.len()

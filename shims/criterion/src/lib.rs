@@ -153,7 +153,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     };
     f(&mut bencher);
     let mut times: Vec<Duration> = Vec::new();
-    for _ in 0..samples.min(5).max(1) {
+    for _ in 0..samples.clamp(1, 5) {
         f(&mut bencher);
         times.push(bencher.elapsed);
     }

@@ -1,0 +1,6 @@
+//! The `metam` binary: scan / profile / discover over an on-disk CSV lake.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(metam::cli::run(&args));
+}

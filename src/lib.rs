@@ -11,37 +11,55 @@
 //! task-independent data profiles (P2), wrapping the task for monotonicity
 //! (P3), and prioritizing small solutions via group testing (P1).
 //!
-//! This umbrella crate re-exports the whole workspace and provides the
-//! [`pipeline`] module that snaps the pieces together:
+//! The front door is [`session::Session`], a builder over the whole
+//! pipeline regardless of where the data lives:
 //!
 //! ```
-//! use metam::pipeline::prepare;
-//! use metam::{Metam, MetamConfig};
+//! use metam::session::Session;
+//! use metam::{Method, MetamConfig};
 //!
 //! // A seeded synthetic scenario (housing-price classification).
 //! let scenario = metam::datagen::repo::price_classification(7);
-//! let prepared = prepare(scenario, 7);
-//! let result = Metam::new(MetamConfig {
-//!     theta: Some(0.8),
-//!     max_queries: 300,
-//!     ..Default::default()
-//! })
-//! .run(&prepared.inputs());
-//! assert!(result.utility >= result.base_utility);
+//! let report = Session::from_scenario(scenario)
+//!     .seed(7)
+//!     .theta(0.8)
+//!     .budget(300)
+//!     .run(Method::Metam(MetamConfig::default()))
+//!     .expect("scenario sessions are infallible");
+//! assert!(report.utility >= report.base_utility);
 //! ```
 //!
-//! Beyond synthetic scenarios, [`lake`] points the same pipeline at a
-//! directory of CSV files on disk: scan it into a persistent
-//! [`lake::LakeCatalog`] (schema metadata + cached per-column statistics),
-//! then [`pipeline::prepare_from_lake`] with any [`Task`]. The `metam`
-//! binary (in `metam-lake`) wraps this as `scan` / `profile` / `discover`
+//! The same builder points at an **on-disk CSV lake** — scan a directory
+//! into a persistent [`lake::LakeCatalog`] and name an input dataset and
+//! task:
+//!
+//! ```no_run
+//! use metam::session::Session;
+//!
+//! let prepared = Session::from_lake("./lake")
+//!     .din("din")
+//!     .task_spec("classification:label")
+//!     .seed(7)
+//!     .prepare()?;
+//! # Ok::<(), metam::session::SessionError>(())
+//! ```
+//!
+//! [`Session::prepare`](session::Session::prepare) returns the unified
+//! [`Prepared`] bundle (borrow [`Prepared::inputs`](core::Prepared::inputs)
+//! to run any [`Method`] yourself);
+//! [`Session::run`](session::Session::run) does prepare + search in one
+//! step and returns a [`session::RunReport`] with budget accounting,
+//! wall-clock timings and the utility trace. Attach a
+//! [`session::RunObserver`] to stream per-round progress. The `metam`
+//! binary ([`cli`]) wraps this as `scan` / `profile` / `discover`
 //! subcommands.
 //!
 //! Crate map: [`table`] (columnar substrate) → [`discovery`] (join-path
 //! index) / [`ml`] (models) / [`causal`] (independence tests) →
-//! [`profile`] (data profiles) → [`core`] (the algorithm + baselines) →
-//! [`datagen`] (synthetic repositories) → [`tasks`] (downstream tasks) →
-//! [`lake`] (on-disk ingestion, catalog + CLI).
+//! [`profile`] (data profiles) → [`core`] (the algorithm, baselines, and
+//! the [`Prepared`] assembly) → [`datagen`] (synthetic repositories) →
+//! [`tasks`] (downstream tasks) → [`lake`] (on-disk ingestion + catalog) →
+//! [`session`] (the builder front door) → [`cli`] (the binary).
 
 #![warn(missing_docs)]
 
@@ -56,8 +74,12 @@ pub use metam_table as table;
 pub use metam_tasks as tasks;
 
 pub use metam_core::{
-    run_method, Metam, MetamConfig, MetamResult, Method, RunResult, StopReason, Task,
+    run_method, Metam, MetamConfig, MetamResult, Method, Prepared, RoundEvent, RunObserver,
+    RunResult, StopReason, Task,
 };
 pub use metam_table::Table;
+pub use session::{RunReport, Session, SessionError};
 
+pub mod cli;
 pub mod pipeline;
+pub mod session;

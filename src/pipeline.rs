@@ -1,30 +1,38 @@
-//! End-to-end assembly: scenario → candidates → profiles → task → search
-//! inputs.
+//! Deprecated free-function front door, kept as thin wrappers for one
+//! release.
 //!
-//! This is the glue every example, integration test and benchmark uses:
-//! index the repository, enumerate candidate augmentations (Definition 4),
-//! evaluate the default profile vector on a 100-row sample (§VI
-//! "Settings"), and instantiate the downstream task.
+//! The pipeline is now assembled through one builder —
+//! [`crate::session::Session`] — which replaces the five `prepare*`
+//! functions and the two near-duplicate bundle structs
+//! (`PreparedScenario` / `PreparedLake`) with a single
+//! [`Prepared`] type and a pluggable
+//! [`DataSource`](crate::session::DataSource) seam:
 //!
-//! Two entry points cover the two data worlds:
+//! ```no_run
+//! use metam::session::Session;
 //!
-//! * [`prepare`] / [`prepare_with`] — a synthetic [`Scenario`] with
-//!   planted ground truth,
-//! * [`prepare_from_lake`] / [`prepare_from_lake_with`] — a scanned
-//!   on-disk CSV lake ([`metam_lake::LakeCatalog`]) with a user-supplied
-//!   [`Task`].
+//! // was: prepare(scenario, 7)
+//! let scenario = metam::datagen::repo::price_classification(7);
+//! let prepared = Session::from_scenario(scenario).seed(7).prepare()?;
+//!
+//! // was: prepare_from_lake(&catalog, din, task, Some("label"), options)
+//! let prepared = Session::from_lake("./lake")
+//!     .din("din")
+//!     .task_spec("classification:label")
+//!     .seed(7)
+//!     .prepare()?;
+//! # Ok::<(), metam::session::SessionError>(())
+//! ```
 
-use std::sync::Arc;
-
-use metam_core::engine::SearchInputs;
+use metam_core::Prepared;
 use metam_core::Task;
 use metam_datagen::Scenario;
 use metam_discovery::path::PathConfig;
-use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
-use metam_lake::{LakeCatalog, LakeOptions, PreparedLake};
-use metam_profile::{default_profiles, ProfileSet};
+use metam_lake::{LakeCatalog, LakeOptions};
+use metam_profile::ProfileSet;
 use metam_table::Table;
-use metam_tasks::build_task;
+
+use crate::session::Session;
 
 /// Knobs for [`prepare_with`].
 #[derive(Debug, Clone)]
@@ -50,115 +58,64 @@ impl Default for PrepareOptions {
     }
 }
 
-/// A scenario with everything materialized for searching.
-pub struct PreparedScenario {
-    /// The generated scenario (owns `Din` and ground truth).
-    pub scenario: Scenario,
-    /// Index of the target column in `Din`, if supervised.
-    pub target_column: Option<usize>,
-    /// Candidate augmentations.
-    pub candidates: Vec<Candidate>,
-    /// Profile vectors per candidate.
-    pub profiles: Vec<Vec<f64>>,
-    /// Profile names.
-    pub profile_names: Vec<String>,
-    /// Materializer over the scenario repository.
-    pub materializer: Materializer,
-    /// The instantiated downstream task.
-    pub task: Box<dyn Task>,
-}
-
-impl PreparedScenario {
-    /// Borrow as the search-input bundle every method consumes.
-    pub fn inputs(&self) -> SearchInputs<'_> {
-        SearchInputs {
-            din: &self.scenario.din,
-            target_column: self.target_column,
-            candidates: &self.candidates,
-            profiles: &self.profiles,
-            profile_names: &self.profile_names,
-            materializer: &self.materializer,
-            task: self.task.as_ref(),
-        }
-    }
-
-    /// Planted relevance of every candidate (via the scenario's ground
-    /// truth) — used by Fig. 8's "queries to ground truth" metric and the
-    /// informative synthetic profiles of Figs. 9–10.
-    pub fn relevance(&self) -> Vec<f64> {
-        self.candidates
-            .iter()
-            .map(|c| {
-                self.scenario
-                    .ground_truth
-                    .relevance(&c.source_table, &c.column_name)
-            })
-            .collect()
-    }
-}
+/// The old name of the unified [`Prepared`] bundle.
+#[deprecated(
+    since = "0.2.0",
+    note = "use metam::session::Prepared (one unified type)"
+)]
+pub type PreparedScenario = Prepared;
 
 /// [`prepare_with`] using default options, the default profile set and the
 /// given seed.
-pub fn prepare(scenario: Scenario, seed: u64) -> PreparedScenario {
-    prepare_with(
-        scenario,
-        default_profiles(),
-        PrepareOptions {
-            seed,
-            ..Default::default()
-        },
-    )
+#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_scenario")]
+pub fn prepare(scenario: Scenario, seed: u64) -> Prepared {
+    Session::from_scenario(scenario)
+        .seed(seed)
+        .prepare()
+        .expect("scenario preparation is infallible")
 }
 
 /// Full assembly with a custom profile set and options.
+#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_scenario")]
 pub fn prepare_with(
     scenario: Scenario,
     profile_set: ProfileSet,
     options: PrepareOptions,
-) -> PreparedScenario {
-    let tables: Vec<Arc<metam_table::Table>> = scenario.tables.clone();
-    let index = DiscoveryIndex::build(tables.clone());
-    let candidates =
-        generate_candidates(&scenario.din, &index, &options.path, options.max_candidates);
-    let materializer = Materializer::new(tables);
-    let target_column = scenario.target_column_index();
-    let profiles = profile_set.evaluate_all(
-        &scenario.din,
-        target_column,
-        &candidates,
-        &materializer,
-        options.profile_sample,
-        options.seed,
-    );
-    let profile_names = profile_set.names().into_iter().map(String::from).collect();
-    let task = build_task(&scenario, options.seed);
-    PreparedScenario {
-        scenario,
-        target_column,
-        candidates,
-        profiles,
-        profile_names,
-        materializer,
-        task,
-    }
+) -> Prepared {
+    Session::from_scenario(scenario)
+        .profiles(profile_set)
+        .path_config(options.path)
+        .max_candidates(options.max_candidates)
+        .profile_sample(options.profile_sample)
+        .seed(options.seed)
+        .prepare()
+        .expect("scenario preparation is infallible")
 }
 
 /// [`prepare_from_lake_with`] using the default profile set.
+#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_catalog")]
 pub fn prepare_from_lake(
     catalog: &LakeCatalog,
     din: Table,
     task: Box<dyn Task>,
     target: Option<&str>,
     options: PrepareOptions,
-) -> metam_lake::Result<PreparedLake> {
-    prepare_from_lake_with(catalog, din, task, default_profiles(), target, options)
+) -> metam_lake::Result<Prepared> {
+    #[allow(deprecated)]
+    prepare_from_lake_with(
+        catalog,
+        din,
+        task,
+        metam_profile::default_profiles(),
+        target,
+        options,
+    )
 }
 
 /// Assemble search inputs from a scanned CSV lake instead of a synthetic
-/// scenario: load every catalog table (minus `din` itself), index it,
-/// enumerate candidates, evaluate profiles, and bundle the user-supplied
-/// task. `target` names the task's target column in `din`, when one
-/// exists; it drives the target-aware profiles and the iARDA baseline.
+/// scenario. `target` names the task's target column in `din`, when one
+/// exists.
+#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_catalog")]
 pub fn prepare_from_lake_with(
     catalog: &LakeCatalog,
     din: Table,
@@ -166,7 +123,7 @@ pub fn prepare_from_lake_with(
     profile_set: ProfileSet,
     target: Option<&str>,
     options: PrepareOptions,
-) -> metam_lake::Result<PreparedLake> {
+) -> metam_lake::Result<Prepared> {
     let lake_options = LakeOptions {
         path: options.path,
         max_candidates: options.max_candidates,
@@ -174,20 +131,22 @@ pub fn prepare_from_lake_with(
         seed: options.seed,
         target: target.map(String::from),
         // The catalog table named like `din` is withheld (it must not
-        // join with itself); use `LakeOptions` directly for an external
+        // join with itself); use the session API directly for an external
         // input dataset that should not shadow a lake table.
         exclude_tables: None,
     };
+    #[allow(deprecated)]
     metam_lake::prepare::prepare_from_catalog_with(catalog, din, task, profile_set, &lake_options)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 
     #[test]
-    fn prepare_produces_aligned_artifacts() {
+    fn deprecated_prepare_still_produces_aligned_artifacts() {
         let scenario = build_supervised(&SupervisedConfig {
             n_rows: 200,
             n_informative: 2,
@@ -195,7 +154,7 @@ mod tests {
             n_erroneous_tables: 2,
             ..Default::default()
         });
-        let p = prepare(scenario, 1);
+        let p: PreparedScenario = prepare(scenario, 1);
         assert!(!p.candidates.is_empty());
         assert_eq!(p.candidates.len(), p.profiles.len());
         assert_eq!(
@@ -204,12 +163,29 @@ mod tests {
             "default profile set has 5 profiles"
         );
         assert!(p.target_column.is_some());
-        let rel = p.relevance();
+        let rel = p.relevance.as_deref().expect("scenarios carry truth");
         assert_eq!(rel.len(), p.candidates.len());
         assert!(
             rel.iter().any(|&r| r > 0.0),
             "planted candidates must be discoverable"
         );
         assert!(rel.iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn unresolvable_scenario_target_degrades_to_unsupervised() {
+        // The old prepare() tolerated a spec target absent from din
+        // (target_column = None); the wrapper must keep that behavior
+        // rather than surfacing Session's strict TargetNotFound.
+        let mut scenario = build_supervised(&SupervisedConfig {
+            n_rows: 60,
+            n_irrelevant_tables: 1,
+            ..Default::default()
+        });
+        scenario.spec = metam_datagen::TaskSpec::Classification {
+            target: "ghost_column".into(),
+        };
+        let p = prepare(scenario, 2);
+        assert_eq!(p.target_column, None, "lenient for source defaults");
     }
 }

@@ -1,0 +1,82 @@
+//! Typed failures of the [`Session`](super::Session) front door.
+
+use std::fmt;
+
+use metam_lake::LakeError;
+use metam_table::TableError;
+
+/// Why a session could not be prepared or run. Every fallible path through
+/// the builder returns one of these — misconfiguration never panics.
+#[derive(Debug)]
+pub enum SessionError {
+    /// No task was given and the data source has no default (real lakes
+    /// cannot infer one — call `.task(...)` or `.task_spec("kind:arg")`).
+    MissingTask,
+    /// The source needs an input dataset name and none was given (call
+    /// `.din(...)` with a catalog table name or a CSV path).
+    MissingInput,
+    /// A query budget of 0 can never evaluate the task even once.
+    InvalidBudget,
+    /// A task spec string failed to parse (unknown kind, empty argument…).
+    BadTaskSpec(String),
+    /// The configured target column does not exist in the input dataset.
+    TargetNotFound {
+        /// The requested target column.
+        target: String,
+        /// The input dataset it is missing from.
+        din: String,
+    },
+    /// The lake layer failed (scan, catalog lookup, CSV parse…).
+    Lake(LakeError),
+    /// A table-level operation failed.
+    Table(TableError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::MissingTask => write!(
+                f,
+                "no task configured: call .task(...) or .task_spec(\"kind:arg\") \
+                 (the data source has no default task)"
+            ),
+            SessionError::MissingInput => write!(
+                f,
+                "no input dataset: call .din(...) with a catalog table name or a CSV path"
+            ),
+            SessionError::InvalidBudget => write!(
+                f,
+                "query budget must be at least 1 (a budget of 0 cannot evaluate the task)"
+            ),
+            SessionError::BadTaskSpec(msg) => write!(f, "bad task spec: {msg}"),
+            SessionError::TargetNotFound { target, din } => write!(
+                f,
+                "target column {target:?} not found in input dataset {din:?}"
+            ),
+            SessionError::Lake(e) => write!(f, "{e}"),
+            SessionError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Lake(e) => Some(e),
+            SessionError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LakeError> for SessionError {
+    fn from(e: LakeError) -> SessionError {
+        SessionError::Lake(e)
+    }
+}
+
+impl From<TableError> for SessionError {
+    fn from(e: TableError) -> SessionError {
+        SessionError::Table(e)
+    }
+}

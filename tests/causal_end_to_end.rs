@@ -2,7 +2,7 @@
 //! causal structure while baselines burn queries (Fig. 3c/3d at test
 //! scale).
 
-use metam::pipeline::prepare;
+use metam::Session;
 use metam::{run_method, Metam, MetamConfig, Method, StopReason};
 use metam_datagen::causal_scenario::{build_causal, CausalConfig, CausalKind};
 
@@ -18,7 +18,10 @@ fn whatif_scenario(seed: u64) -> metam::datagen::Scenario {
 
 #[test]
 fn whatif_recovers_all_affected_attributes() {
-    let prepared = prepare(whatif_scenario(31), 31);
+    let prepared = Session::from_scenario(whatif_scenario(31))
+        .seed(31)
+        .prepare()
+        .expect("prepare");
     let result = Metam::new(MetamConfig {
         theta: Some(1.0),
         max_queries: 400,
@@ -60,7 +63,10 @@ fn howto_beats_uniform_on_queries() {
         n_confounder_tables: 8,
         ..Default::default()
     });
-    let prepared = prepare(scenario, 32);
+    let prepared = Session::from_scenario(scenario)
+        .seed(32)
+        .prepare()
+        .expect("prepare");
     let budget = 250;
     let metam_r = run_method(
         &Method::Metam(MetamConfig {
@@ -90,7 +96,10 @@ fn howto_beats_uniform_on_queries() {
 
 #[test]
 fn confounders_are_not_selected() {
-    let prepared = prepare(whatif_scenario(33), 33);
+    let prepared = Session::from_scenario(whatif_scenario(33))
+        .seed(33)
+        .prepare()
+        .expect("prepare");
     let result = Metam::new(MetamConfig {
         theta: Some(1.0),
         max_queries: 400,

@@ -4,8 +4,8 @@
 use std::collections::BTreeSet;
 
 use metam::core::engine::QueryEngine;
-use metam::pipeline::prepare;
 use metam::profile::linf_distance;
+use metam::Session;
 use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 
 fn scenario(seed: u64) -> metam::datagen::Scenario {
@@ -26,7 +26,10 @@ fn scenario(seed: u64) -> metam::datagen::Scenario {
 /// bound (our utilities are forest F-scores with sampling noise).
 #[test]
 fn p2_similar_profiles_similar_utility() {
-    let prepared = prepare(scenario(11), 11);
+    let prepared = Session::from_scenario(scenario(11))
+        .seed(11)
+        .prepare()
+        .expect("prepare");
     let inputs = prepared.inputs();
     let mut engine = QueryEngine::new(&inputs, usize::MAX);
     let n = prepared.candidates.len().min(40);
@@ -61,7 +64,10 @@ fn p2_similar_profiles_similar_utility() {
 /// P3: the monotonicity-certification wrapper never reports a drop.
 #[test]
 fn p3_certification_never_decreases() {
-    let prepared = prepare(scenario(12), 12);
+    let prepared = Session::from_scenario(scenario(12))
+        .seed(12)
+        .prepare()
+        .expect("prepare");
     let inputs = prepared.inputs();
     let mut engine = QueryEngine::new(&inputs, usize::MAX);
     let base: BTreeSet<usize> = BTreeSet::new();
@@ -85,7 +91,10 @@ fn p3_certification_never_decreases() {
 /// singleton augmentations improve the base utility meaningfully.
 #[test]
 fn p1_most_candidates_are_useless() {
-    let prepared = prepare(scenario(13), 13);
+    let prepared = Session::from_scenario(scenario(13))
+        .seed(13)
+        .prepare()
+        .expect("prepare");
     let inputs = prepared.inputs();
     let mut engine = QueryEngine::new(&inputs, usize::MAX);
     let base = engine.base_utility().unwrap();
@@ -108,18 +117,17 @@ fn p1_most_candidates_are_useless() {
 /// Erroneous joins (permuted keys) must not look useful.
 #[test]
 fn erroneous_candidates_do_not_help() {
-    let prepared = prepare(scenario(14), 14);
+    let scenario = scenario(14);
+    let erroneous_tables = scenario.ground_truth.erroneous_tables.clone();
+    let prepared = Session::from_scenario(scenario)
+        .seed(14)
+        .prepare()
+        .expect("prepare");
     let inputs = prepared.inputs();
     let mut engine = QueryEngine::new(&inputs, usize::MAX);
     let base = engine.base_utility().unwrap();
     let erroneous: Vec<usize> = (0..prepared.candidates.len())
-        .filter(|&i| {
-            prepared
-                .scenario
-                .ground_truth
-                .erroneous_tables
-                .contains(&prepared.candidates[i].source_table)
-        })
+        .filter(|&i| erroneous_tables.contains(&prepared.candidates[i].source_table))
         .collect();
     assert!(
         !erroneous.is_empty(),

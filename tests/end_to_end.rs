@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline on generated
 //! scenarios, checking the paper's headline claims at test scale.
 
-use metam::pipeline::prepare;
+use metam::Session;
 use metam::{run_method, Metam, MetamConfig, Method, StopReason};
 use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 
@@ -20,7 +20,10 @@ fn small_classification(seed: u64) -> metam::datagen::Scenario {
 
 #[test]
 fn metam_improves_utility_end_to_end() {
-    let prepared = prepare(small_classification(1), 1);
+    let prepared = Session::from_scenario(small_classification(1))
+        .seed(1)
+        .prepare()
+        .expect("prepare");
     let result = Metam::new(MetamConfig {
         max_queries: 120,
         seed: 1,
@@ -38,8 +41,11 @@ fn metam_improves_utility_end_to_end() {
 
 #[test]
 fn metam_finds_planted_augmentations() {
-    let prepared = prepare(small_classification(2), 2);
-    let relevance = prepared.relevance();
+    let prepared = Session::from_scenario(small_classification(2))
+        .seed(2)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.clone().expect("scenarios carry truth");
     let result = Metam::new(MetamConfig {
         max_queries: 150,
         seed: 2,
@@ -61,7 +67,10 @@ fn metam_finds_planted_augmentations() {
 #[test]
 fn p1_solutions_are_small() {
     // Property P1: k ≪ n. With ~60 candidates the solution stays tiny.
-    let prepared = prepare(small_classification(3), 3);
+    let prepared = Session::from_scenario(small_classification(3))
+        .seed(3)
+        .prepare()
+        .expect("prepare");
     let n = prepared.candidates.len();
     assert!(n > 30, "scenario should have many candidates, got {n}");
     let result = Metam::new(MetamConfig {
@@ -79,7 +88,10 @@ fn p1_solutions_are_small() {
 
 #[test]
 fn all_methods_produce_valid_traces() {
-    let prepared = prepare(small_classification(4), 4);
+    let prepared = Session::from_scenario(small_classification(4))
+        .seed(4)
+        .prepare()
+        .expect("prepare");
     let methods = [
         Method::Metam(MetamConfig {
             seed: 4,
@@ -115,8 +127,14 @@ fn all_methods_produce_valid_traces() {
 
 #[test]
 fn runs_are_reproducible() {
-    let prepared_a = prepare(small_classification(5), 5);
-    let prepared_b = prepare(small_classification(5), 5);
+    let prepared_a = Session::from_scenario(small_classification(5))
+        .seed(5)
+        .prepare()
+        .expect("prepare");
+    let prepared_b = Session::from_scenario(small_classification(5))
+        .seed(5)
+        .prepare()
+        .expect("prepare");
     let cfg = MetamConfig {
         max_queries: 80,
         seed: 5,
@@ -132,7 +150,10 @@ fn runs_are_reproducible() {
 #[test]
 fn theta_run_is_minimal() {
     // Definition 6: removing any element of the returned set must break θ.
-    let prepared = prepare(small_classification(6), 6);
+    let prepared = Session::from_scenario(small_classification(6))
+        .seed(6)
+        .prepare()
+        .expect("prepare");
     let theta = 0.70;
     let result = Metam::new(MetamConfig {
         theta: Some(theta),

@@ -1,7 +1,7 @@
 //! §VI-A.4 generalization: entity linking, fair classification and
 //! clustering, end to end through the full pipeline.
 
-use metam::pipeline::prepare;
+use metam::Session;
 use metam::{run_method, Metam, MetamConfig, Method, StopReason};
 
 #[test]
@@ -12,8 +12,11 @@ fn entity_linking_found_in_few_queries() {
             n_irrelevant_tables: 30,
             ..Default::default()
         });
-    let prepared = prepare(scenario, 21);
-    let relevance = prepared.relevance();
+    let prepared = Session::from_scenario(scenario)
+        .seed(21)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.clone().expect("scenarios carry truth");
     let result = Metam::new(MetamConfig {
         theta: Some(0.95),
         max_queries: 120,
@@ -44,8 +47,11 @@ fn fair_classification_prefers_fair_useful_feature() {
             seed: 22,
             ..Default::default()
         });
-    let prepared = prepare(scenario, 22);
-    let relevance = prepared.relevance();
+    let prepared = Session::from_scenario(scenario)
+        .seed(22)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.clone().expect("scenarios carry truth");
     let result = Metam::new(MetamConfig {
         max_queries: 80,
         seed: 22,
@@ -77,7 +83,10 @@ fn clustering_finds_oni_quickly() {
             ..Default::default()
         },
     );
-    let prepared = prepare(scenario, 23);
+    let prepared = Session::from_scenario(scenario)
+        .seed(23)
+        .prepare()
+        .expect("prepare");
     assert!(prepared.candidates.len() >= 8, "paper: 8 candidates");
     let result = Metam::new(MetamConfig {
         theta: Some(0.9),
@@ -105,8 +114,11 @@ fn unions_task_improves_with_good_batches() {
         seed: 24,
         ..Default::default()
     });
-    let prepared = prepare(scenario, 24);
-    let relevance = prepared.relevance();
+    let prepared = Session::from_scenario(scenario)
+        .seed(24)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.clone().expect("scenarios carry truth");
     let result = run_method(
         &Method::Metam(MetamConfig {
             seed: 24,

@@ -10,9 +10,7 @@
 use std::path::PathBuf;
 
 use metam::lake::{export_scenario, LakeCatalog};
-use metam::pipeline::{prepare_from_lake, PrepareOptions};
-use metam::tasks::ClassificationTask;
-use metam::{Metam, MetamConfig};
+use metam::{Metam, MetamConfig, Session};
 use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 use metam_datagen::Scenario;
 
@@ -53,18 +51,12 @@ fn exported_lake_rediscovers_planted_candidates() {
     assert_eq!(din.nrows(), scenario.din.nrows());
     assert_eq!(din.ncols(), scenario.din.ncols());
 
-    let task = Box::new(ClassificationTask::new("label", 11));
-    let prepared = prepare_from_lake(
-        &catalog,
-        din,
-        task,
-        Some("label"),
-        PrepareOptions {
-            seed: 11,
-            ..Default::default()
-        },
-    )
-    .expect("prepare");
+    let prepared = Session::from_catalog(catalog)
+        .din("din")
+        .task_spec("classification:label")
+        .seed(11)
+        .prepare()
+        .expect("prepare");
     assert!(
         !prepared.candidates.is_empty(),
         "discovery over the file-backed lake must find candidates"
@@ -171,21 +163,17 @@ fn lake_prepare_matches_in_memory_prepare_candidates() {
     let scenario = small_scenario(23);
     export_scenario(&scenario, &dir).expect("export");
 
-    let in_memory = metam::pipeline::prepare(scenario, 23);
+    let in_memory = Session::from_scenario(scenario)
+        .seed(23)
+        .prepare()
+        .expect("prepare");
     let catalog = LakeCatalog::scan(&dir).expect("scan");
-    let din = catalog.load_table("din").expect("din");
-    let task = Box::new(ClassificationTask::new("label", 23));
-    let from_disk = prepare_from_lake(
-        &catalog,
-        din,
-        task,
-        Some("label"),
-        PrepareOptions {
-            seed: 23,
-            ..Default::default()
-        },
-    )
-    .expect("prepare");
+    let from_disk = Session::from_catalog(catalog)
+        .din("din")
+        .task_spec("classification:label")
+        .seed(23)
+        .prepare()
+        .expect("prepare");
 
     let key = |cands: &[metam_discovery::Candidate]| {
         let mut keys: Vec<(String, String)> = cands

@@ -3,9 +3,9 @@
 
 use metam::core::engine::SearchInputs;
 use metam::core::task::LinearSyntheticTask;
-use metam::pipeline::{prepare_with, PrepareOptions};
 use metam::profile::synthetic::FixedProfile;
 use metam::profile::ProfileSet;
+use metam::Session;
 use metam::{Metam, MetamConfig, StopReason};
 use metam_datagen::supervised::{build_supervised, SupervisedConfig};
 use metam_discovery::path::PathConfig;
@@ -34,15 +34,12 @@ fn all_uninformative_profiles_still_find_solution() {
             41 ^ u,
         )));
     }
-    let prepared = prepare_with(
-        scenario,
-        noise_only,
-        PrepareOptions {
-            seed: 41,
-            ..Default::default()
-        },
-    );
-    let relevance = prepared.relevance();
+    let prepared = Session::from_scenario(scenario)
+        .profiles(noise_only)
+        .seed(41)
+        .prepare()
+        .expect("prepare");
+    let relevance = prepared.relevance.clone().expect("scenarios carry truth");
     let result = Metam::new(MetamConfig {
         max_queries: 250,
         seed: 41,
@@ -151,7 +148,10 @@ fn homogeneity_check_cheap_when_clusters_honest() {
         n_erroneous_tables: 2,
         ..Default::default()
     });
-    let prepared = metam::pipeline::prepare(scenario, 43);
+    let prepared = metam::Session::from_scenario(scenario)
+        .seed(43)
+        .prepare()
+        .expect("prepare");
     let with_check = Metam::new(MetamConfig {
         max_queries: 200,
         check_homogeneity: true,
