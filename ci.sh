@@ -13,4 +13,7 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== ingestion bench (smoke: parallel scan + shard + .mtc cache asserts) =="
+cargo run --release -q -p metam-bench --bin ingestion -- --quick --out target/bench-smoke
+
 echo "CI OK"

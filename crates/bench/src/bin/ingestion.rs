@@ -1,0 +1,174 @@
+//! Lake ingestion benchmark: parallel scan vs sequential, shard rewrite
+//! granularity, and `.mtc` columnar-cache loads vs CSV re-parsing.
+//!
+//! Generates a many-file CSV lake (500 files; 60 with `--quick`), then
+//! measures and **asserts** the ingestion properties the lake layer
+//! promises:
+//!
+//! 1. a cold parallel scan produces byte-identical catalog state to a
+//!    sequential scan (and beats it on wall-clock when >1 core is up),
+//! 2. a warm rescan is all cache hits and rewrites zero manifest shards,
+//! 3. touching one file re-profiles one file and rewrites one shard,
+//! 4. repository loads deserialize from the columnar cache, not CSV.
+//!
+//! `--quick` is the CI smoke mode (run by `ci.sh`): small lake, all
+//! structural assertions, no timing assertions.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use metam::lake::{manifest, LakeCatalog, ScanOptions};
+use metam_bench::{save_json, Args, TableReport};
+
+/// Deterministic row data (tiny splitmix; no rand dependency needed).
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn generate_lake(dir: &Path, n_files: usize, n_rows: usize, seed: u64) {
+    std::fs::create_dir_all(dir).expect("create lake dir");
+    for f in 0..n_files {
+        let mut csv = String::from("zip,value,count,note\n");
+        for r in 0..n_rows {
+            let h = mix(seed ^ ((f as u64) << 32) ^ r as u64);
+            csv.push_str(&format!(
+                "z{},{:.3},{},n{}\n",
+                r,
+                (h % 10_000) as f64 / 7.0,
+                h % 97,
+                h % 13,
+            ));
+        }
+        std::fs::write(dir.join(format!("t{f:04}.csv")), csv).expect("write lake file");
+    }
+}
+
+fn wipe_meta(dir: &Path) {
+    let _ = std::fs::remove_dir_all(LakeCatalog::meta_dir(dir));
+}
+
+fn timed_scan(dir: &Path, options: &ScanOptions) -> (LakeCatalog, f64) {
+    let start = Instant::now();
+    let catalog = LakeCatalog::scan_with(dir, options).expect("scan");
+    (catalog, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = Args::parse();
+    let (n_files, n_rows) = if args.quick { (60, 40) } else { (500, 200) };
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("metam-ingestion-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "generating lake: {n_files} files x {n_rows} rows (seed {})",
+        args.seed
+    );
+    generate_lake(&dir, n_files, n_rows, args.seed);
+
+    // 1. Cold scans: sequential, then parallel, from identical blank state.
+    let (seq_catalog, seq_secs) = timed_scan(&dir, &ScanOptions::sequential());
+    assert_eq!(
+        seq_catalog.cache_misses(),
+        n_files,
+        "cold scan profiles all"
+    );
+    let seq_entries = seq_catalog.entries().to_vec();
+    drop(seq_catalog);
+    wipe_meta(&dir);
+    let (par_catalog, par_secs) = timed_scan(
+        &dir,
+        &ScanOptions {
+            threads: Some(workers),
+        },
+    );
+    assert_eq!(
+        par_catalog.entries(),
+        seq_entries.as_slice(),
+        "parallel scan must be deterministic"
+    );
+    let speedup = seq_secs / par_secs.max(1e-9);
+    println!(
+        "cold scan: sequential {seq_secs:.3}s | parallel({workers}) {par_secs:.3}s | speedup {speedup:.2}x"
+    );
+    if !args.quick && workers > 1 {
+        assert!(
+            par_secs < seq_secs,
+            "parallel cold scan must beat sequential on {workers} workers \
+             (sequential {seq_secs:.3}s vs parallel {par_secs:.3}s)"
+        );
+    }
+
+    // 2. Warm rescan: all hits, no shard rewritten.
+    let (warm, warm_secs) = timed_scan(&dir, &ScanOptions::default());
+    assert_eq!(warm.cache_hits(), n_files, "warm rescan is all cache hits");
+    assert_eq!(warm.cache_misses(), 0);
+    assert_eq!(warm.shards_written(), 0, "unchanged lake rewrites nothing");
+    println!(
+        "warm rescan: {warm_secs:.3}s, {}/{} hits, {} shard(s) rewritten",
+        warm.cache_hits(),
+        n_files,
+        warm.shards_written()
+    );
+
+    // 3. Touch one file: one re-profile, one shard rewritten.
+    let touched = dir.join("t0000.csv");
+    let mut text = std::fs::read_to_string(&touched).expect("read");
+    text.push_str("z9999,1.0,1,extra\n");
+    std::fs::write(&touched, text).expect("touch");
+    let (after_touch, _) = timed_scan(&dir, &ScanOptions::default());
+    assert_eq!(after_touch.cache_misses(), 1, "only the touched file");
+    assert_eq!(after_touch.cache_hits(), n_files - 1);
+    assert_eq!(
+        after_touch.shards_written(),
+        1,
+        "touching one file rewrites exactly its shard (of {})",
+        manifest::SHARD_COUNT
+    );
+
+    // 4. Repository loads: CSV re-parse (cache wiped) vs `.mtc` columns.
+    let _ = std::fs::remove_dir_all(metam::lake::cache::cache_dir(&dir));
+    let counters = after_touch.load_counters();
+    let start = Instant::now();
+    let from_csv = after_touch.load_all_except(&[]).expect("load via CSV");
+    let csv_secs = start.elapsed().as_secs_f64();
+    assert_eq!(counters.misses(), n_files, "wiped cache forces CSV parsing");
+    // That pass healed the cache; the next load is columnar end to end.
+    let start = Instant::now();
+    let from_mtc = after_touch.load_all_except(&[]).expect("load via .mtc");
+    let mtc_secs = start.elapsed().as_secs_f64();
+    assert_eq!(counters.hits(), n_files, "healed cache serves every load");
+    assert_eq!(from_mtc.len(), from_csv.len());
+    for (a, b) in from_mtc.iter().zip(&from_csv) {
+        assert_eq!(a.as_ref(), b.as_ref(), "cache must be value-identical");
+    }
+    println!(
+        "load {} tables: csv {csv_secs:.3}s | .mtc {mtc_secs:.3}s | speedup {:.2}x",
+        n_files,
+        csv_secs / mtc_secs.max(1e-9)
+    );
+
+    let mut table = TableReport::new(
+        "ingestion",
+        format!("Lake ingestion on {n_files} files ({workers} worker(s))"),
+        vec!["phase", "seconds"],
+    );
+    for (phase, secs) in [
+        ("cold scan, sequential", seq_secs),
+        ("cold scan, parallel", par_secs),
+        ("warm rescan (all hits)", warm_secs),
+        ("load all via CSV", csv_secs),
+        ("load all via .mtc", mtc_secs),
+    ] {
+        table.push_row(vec![phase.to_string(), format!("{secs:.4}")]);
+    }
+    table.print();
+    save_json(&args.out, "ingestion", &table);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ingestion bench OK");
+}

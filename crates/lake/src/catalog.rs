@@ -1,20 +1,37 @@
 //! [`LakeCatalog`]: scan a directory of CSVs into a persistent catalog.
 //!
-//! A scan walks `<root>` for `*.csv` files (sorted, deterministic),
-//! profiles each one ([`ColumnStats`] per column), and persists the result
-//! as `<root>/.metam/catalog.tsv`. A later scan reuses the cached profile
-//! of any file whose **size and mtime are unchanged** — re-profiling (and
-//! re-reading) only what moved. [`LakeCatalog::cache_hits`] exposes the
-//! counter the integration tests assert on.
+//! A scan walks `<root>` for `*.csv` files (sorted, deterministic) and
+//! profiles each one ([`ColumnStats`] per column). Changed files are
+//! profiled **in parallel** across scoped worker threads (worker count =
+//! available parallelism, overridable via `METAM_SCAN_THREADS` or
+//! [`ScanOptions`]); results merge back in file-name order, so manifests
+//! and cache counters are byte-identical with a sequential scan.
+//!
+//! Persistence lives under `<root>/.metam/`:
+//!
+//! * `catalog-<k>.tsv` — the manifest, sharded by file-name hash
+//!   ([`crate::manifest`]); a touched file rewrites one shard, not the
+//!   whole catalog. A legacy single-file `catalog.tsv` migrates
+//!   transparently on the next scan.
+//! * `cache/<file>.mtc` — each profiled table serialized in the binary
+//!   columnar format ([`crate::cache`]); [`LakeCatalog::load_table`] and
+//!   [`load_all_except`](LakeCatalog::load_all_except) deserialize columns
+//!   directly instead of re-parsing CSV text.
+//!
+//! Both layers invalidate on the same fingerprint (file size + mtime).
+//! [`LakeCatalog::cache_hits`] counts profile reuse across scans;
+//! [`LakeCatalog::load_counters`] counts `.mtc` hits vs CSV fallbacks.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use metam_table::csv::read_csv;
 use metam_table::Table;
 
-use crate::manifest;
 use crate::stats::ColumnStats;
+use crate::{cache, manifest};
 use crate::{LakeError, Result};
 
 /// Catalog record of one lake table.
@@ -38,17 +55,83 @@ pub struct TableMeta {
     pub columns: Vec<ColumnStats>,
 }
 
+impl TableMeta {
+    /// The invalidation key shared by the manifest and the table cache.
+    pub fn fingerprint(&self) -> Fingerprint {
+        (self.file_size, self.mtime_s, self.mtime_ns)
+    }
+}
+
+/// File size + mtime, the cache-invalidation key.
+pub type Fingerprint = (u64, u64, u32);
+
+/// Counters for table loads served from the `.mtc` cache vs re-parsed
+/// from CSV. Shared behind an [`Arc`] so callers (the CLI, benches) can
+/// keep observing after the catalog moves into a `Session`.
+#[derive(Debug, Default)]
+pub struct LoadCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl LoadCounters {
+    /// Loads deserialized from the columnar cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads that fell back to parsing the CSV source.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Tuning knobs for [`LakeCatalog::scan_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ScanOptions {
+    /// Worker threads for profiling changed files. `None` (the default)
+    /// reads `METAM_SCAN_THREADS`, falling back to the machine's
+    /// available parallelism. Thread count never changes results — only
+    /// wall-clock.
+    pub threads: Option<usize>,
+}
+
+impl ScanOptions {
+    /// Sequential scan (one worker).
+    pub fn sequential() -> ScanOptions {
+        ScanOptions { threads: Some(1) }
+    }
+
+    fn resolve_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("METAM_SCAN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
 /// A scanned lake directory: table registry + persisted profile cache.
 #[derive(Debug)]
 pub struct LakeCatalog {
     root: PathBuf,
     entries: Vec<TableMeta>,
+    by_name: HashMap<String, usize>,
     cache_hits: usize,
     cache_misses: usize,
+    shards_written: usize,
+    load_counters: Arc<LoadCounters>,
 }
 
 /// File metadata used for cache invalidation.
-fn fingerprint(path: &Path) -> Result<(u64, u64, u32)> {
+fn fingerprint(path: &Path) -> Result<Fingerprint> {
     let meta = std::fs::metadata(path)?;
     let (s, ns) = match meta.modified() {
         Ok(t) => match t.duration_since(std::time::UNIX_EPOCH) {
@@ -60,21 +143,95 @@ fn fingerprint(path: &Path) -> Result<(u64, u64, u32)> {
     Ok((meta.len(), s, ns))
 }
 
+/// One changed file queued for (re-)profiling.
+struct MissJob {
+    file_name: String,
+    path: PathBuf,
+    fp: Fingerprint,
+}
+
+/// Profile one file: parse the CSV, compute per-column statistics, and
+/// persist the parsed table into the columnar cache (best-effort — a
+/// read-only `.metam` degrades loads to CSV, it must not fail the scan).
+fn profile_one(root: &Path, job: &MissJob) -> Result<TableMeta> {
+    let table = read_table_file(&job.path)?;
+    let _ = cache::store(root, &job.file_name, job.fp, &table);
+    Ok(TableMeta {
+        name: table.name.clone(),
+        file_name: job.file_name.clone(),
+        file_size: job.fp.0,
+        mtime_s: job.fp.1,
+        mtime_ns: job.fp.2,
+        nrows: table.nrows(),
+        ncols: table.ncols(),
+        columns: table
+            .columns()
+            .iter()
+            .map(ColumnStats::from_column)
+            .collect(),
+    })
+}
+
+/// Profile every queued file, fanning out across `threads` scoped
+/// workers. Each worker owns a contiguous chunk of the (file-name-sorted)
+/// job list and writes into the matching slots of the result vector, so
+/// the merged output is position-stable regardless of scheduling.
+fn profile_all(root: &Path, jobs: &[MissJob], threads: usize) -> Vec<Result<TableMeta>> {
+    let mut results: Vec<Option<Result<TableMeta>>> = (0..jobs.len()).map(|_| None).collect();
+    let threads = threads.min(jobs.len()).max(1);
+    if threads == 1 {
+        for (slot, job) in results.iter_mut().zip(jobs) {
+            *slot = Some(profile_one(root, job));
+        }
+    } else {
+        let chunk = jobs.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (result_chunk, job_chunk) in results.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, job) in result_chunk.iter_mut().zip(job_chunk) {
+                        *slot = Some(profile_one(root, job));
+                    }
+                });
+            }
+        })
+        .expect("scan worker panicked");
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job slot filled"))
+        .collect()
+}
+
 impl LakeCatalog {
-    /// Path of the manifest under a lake root.
-    pub fn manifest_path(root: &Path) -> PathBuf {
-        root.join(".metam").join("catalog.tsv")
+    /// The `.metam` metadata directory under a lake root (manifest shards
+    /// + columnar cache).
+    pub fn meta_dir(root: &Path) -> PathBuf {
+        root.join(".metam")
     }
 
-    /// Scan `root` for CSV files, profiling new/changed files and reusing
-    /// the persisted profile cache for unchanged ones; the refreshed
-    /// manifest is written back before returning.
+    /// Path of the **legacy** single-file manifest under a lake root.
+    /// Current catalogs are sharded (`catalog-<k>.tsv`); this path is
+    /// read for migration only.
+    pub fn manifest_path(root: &Path) -> PathBuf {
+        manifest::legacy_path(&Self::meta_dir(root))
+    }
+
+    /// [`scan_with`](Self::scan_with) under default options (worker count
+    /// from `METAM_SCAN_THREADS` or the machine's parallelism).
     pub fn scan(root: impl AsRef<Path>) -> Result<LakeCatalog> {
+        Self::scan_with(root, &ScanOptions::default())
+    }
+
+    /// Scan `root` for CSV files, profiling new/changed files (in
+    /// parallel) and reusing the persisted profile cache for unchanged
+    /// ones; the refreshed manifest is written back (only shards that
+    /// changed) before returning.
+    pub fn scan_with(root: impl AsRef<Path>, options: &ScanOptions) -> Result<LakeCatalog> {
         let root = root.as_ref().to_path_buf();
-        let manifest_path = Self::manifest_path(&root);
-        // A corrupt manifest must not brick the lake: fall back to a full
-        // re-profile (the rewrite below heals it).
-        let cached = manifest::load(&manifest_path).unwrap_or_default();
+        let meta_dir = Self::meta_dir(&root);
+        // A corrupt shard must not brick the lake: its entries are simply
+        // absent from the cached view (the rewrite below heals it).
+        let cached = manifest::load_cached(&meta_dir);
 
         let mut files: Vec<(String, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(&root)? {
@@ -109,44 +266,66 @@ impl LakeCatalog {
             )));
         }
 
-        let cached_by_file: std::collections::HashMap<&str, &TableMeta> =
+        let cached_by_file: HashMap<&str, &TableMeta> =
             cached.iter().map(|e| (e.file_name.as_str(), e)).collect();
-        let mut entries = Vec::with_capacity(files.len());
-        let mut cache_hits = 0;
-        let mut cache_misses = 0;
+
+        /// A scan slot: an unchanged entry reused as-is, or the index of
+        /// a queued profiling job.
+        enum Planned {
+            Hit(TableMeta),
+            Miss(usize),
+        }
+        let mut plan = Vec::with_capacity(files.len());
+        let mut jobs: Vec<MissJob> = Vec::new();
         for (file_name, path) in files {
-            let (file_size, mtime_s, mtime_ns) = fingerprint(&path)?;
-            if let Some(&hit) = cached_by_file.get(file_name.as_str()).filter(|e| {
-                e.file_size == file_size && e.mtime_s == mtime_s && e.mtime_ns == mtime_ns
-            }) {
-                cache_hits += 1;
-                entries.push(hit.clone());
-                continue;
+            let fp = fingerprint(&path)?;
+            match cached_by_file
+                .get(file_name.as_str())
+                .filter(|e| e.fingerprint() == fp)
+            {
+                Some(&hit) => plan.push(Planned::Hit(hit.clone())),
+                None => {
+                    plan.push(Planned::Miss(jobs.len()));
+                    jobs.push(MissJob {
+                        file_name,
+                        path,
+                        fp,
+                    });
+                }
             }
-            cache_misses += 1;
-            let table = read_table_file(&path)?;
-            entries.push(TableMeta {
-                name: table.name.clone(),
-                file_name,
-                file_size,
-                mtime_s,
-                mtime_ns,
-                nrows: table.nrows(),
-                ncols: table.ncols(),
-                columns: table
-                    .columns()
-                    .iter()
-                    .map(ColumnStats::from_column)
-                    .collect(),
-            });
         }
 
-        manifest::store(&manifest_path, &entries)?;
+        let cache_misses = jobs.len();
+        let cache_hits = plan.len() - cache_misses;
+        let mut profiled = profile_all(&root, &jobs, options.resolve_threads())
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<_>>();
+
+        // Merge back in file-name order; the first failure (in that same
+        // deterministic order) aborts the scan like the sequential path.
+        let mut entries = Vec::with_capacity(plan.len());
+        for slot in plan {
+            match slot {
+                Planned::Hit(entry) => entries.push(entry),
+                Planned::Miss(i) => entries.push(profiled[i].take().expect("job used once")?),
+            }
+        }
+
+        let shards_written = manifest::store_sharded(&meta_dir, &entries)?;
+        let by_name = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.clone(), i))
+            .collect();
         Ok(LakeCatalog {
             root,
             entries,
+            by_name,
             cache_hits,
             cache_misses,
+            shards_written,
+            load_counters: Arc::new(LoadCounters::default()),
         })
     }
 
@@ -180,17 +359,56 @@ impl LakeCatalog {
         self.cache_misses
     }
 
-    /// Catalog record by table name.
-    pub fn get(&self, name: &str) -> Option<&TableMeta> {
-        self.entries.iter().find(|e| e.name == name)
+    /// Manifest shards the last scan rewrote (0 on a fully-cached rescan;
+    /// touching one file rewrites exactly its shard).
+    pub fn shards_written(&self) -> usize {
+        self.shards_written
     }
 
-    /// Load one table's data from disk.
+    /// Total number of manifest shards in the on-disk layout.
+    pub fn shard_count(&self) -> usize {
+        manifest::SHARD_COUNT
+    }
+
+    /// The `.mtc`-vs-CSV load counters, shared: the returned handle keeps
+    /// counting even after the catalog moves into a `Session`.
+    pub fn load_counters(&self) -> Arc<LoadCounters> {
+        Arc::clone(&self.load_counters)
+    }
+
+    /// Catalog record by table name (O(1); the index is built at scan
+    /// time, so 100k-entry catalogs don't pay a linear probe per lookup).
+    pub fn get(&self, name: &str) -> Option<&TableMeta> {
+        self.by_name.get(name).map(|&i| &self.entries[i])
+    }
+
+    /// Load one table's data, deserializing from the columnar cache when
+    /// it is fresh and falling back to (and re-caching from) the CSV
+    /// source otherwise.
     pub fn load_table(&self, name: &str) -> Result<Table> {
         let entry = self
             .get(name)
             .ok_or_else(|| LakeError::UnknownTable(name.to_string()))?;
-        read_table_file(&self.root.join(&entry.file_name))
+        self.load_entry(entry)
+    }
+
+    fn load_entry(&self, entry: &TableMeta) -> Result<Table> {
+        if let Some(table) = cache::load(&self.root, entry) {
+            self.load_counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(table);
+        }
+        self.load_counters.misses.fetch_add(1, Ordering::Relaxed);
+        let path = self.root.join(&entry.file_name);
+        let table = read_table_file(&path)?;
+        // Heal the cache — but only when the file still matches the
+        // cataloged fingerprint; a file modified since the scan would
+        // otherwise pin stale bytes under a fresh-looking key.
+        if let Ok(fp) = fingerprint(&path) {
+            if fp == entry.fingerprint() {
+                let _ = cache::store(&self.root, &entry.file_name, fp, &table);
+            }
+        }
+        Ok(table)
     }
 
     /// Load every table except those named in `exclude` (typically the
@@ -201,9 +419,7 @@ impl LakeCatalog {
             if exclude.contains(&entry.name.as_str()) {
                 continue;
             }
-            tables.push(Arc::new(read_table_file(
-                &self.root.join(&entry.file_name),
-            )?));
+            tables.push(Arc::new(self.load_entry(entry)?));
         }
         Ok(tables)
     }
@@ -263,19 +479,23 @@ mod tests {
         assert_eq!(cat.get("a").unwrap().nrows, 2);
         assert_eq!(cat.total_rows(), 3);
         assert_eq!(cat.total_columns(), 4);
+        assert!(cat.shards_written() >= 1, "cold scan writes shards");
 
-        // Second scan: everything unchanged ⇒ all hits.
+        // Second scan: everything unchanged ⇒ all hits, nothing rewritten.
         let cat2 = LakeCatalog::scan(&dir).unwrap();
         assert_eq!(cat2.cache_hits(), 2);
         assert_eq!(cat2.cache_misses(), 0);
         assert_eq!(cat2.entries(), cat.entries());
+        assert_eq!(cat2.shards_written(), 0, "unchanged lake rewrites nothing");
 
-        // Touch one file with different content size ⇒ one miss.
+        // Touch one file with different content size ⇒ one miss, and only
+        // that file's shard is rewritten.
         fs::write(dir.join("b.csv"), "zip,w\nz1,5\nz9,6\n").unwrap();
         let cat3 = LakeCatalog::scan(&dir).unwrap();
         assert_eq!(cat3.cache_misses(), 1);
         assert_eq!(cat3.cache_hits(), 1);
         assert_eq!(cat3.get("b").unwrap().nrows, 2);
+        assert_eq!(cat3.shards_written(), 1, "only the touched shard");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -305,17 +525,93 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_manifest_heals() {
+    fn corrupt_shard_heals() {
         let dir = tmp_dir("heal");
         fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
         LakeCatalog::scan(&dir).unwrap();
-        fs::write(LakeCatalog::manifest_path(&dir), "garbage\nmore garbage").unwrap();
+        let shard = manifest::shard_path(&LakeCatalog::meta_dir(&dir), manifest::shard_of("a.csv"));
+        assert!(shard.exists(), "cold scan wrote the shard");
+        fs::write(&shard, "garbage\nmore garbage").unwrap();
         let cat = LakeCatalog::scan(&dir).unwrap();
         assert_eq!(cat.len(), 1);
-        assert_eq!(cat.cache_misses(), 1, "corrupt cache forces re-profiling");
-        // And the manifest is valid again.
+        assert_eq!(cat.cache_misses(), 1, "corrupt shard forces re-profiling");
+        // And the shard is valid again.
         let cat2 = LakeCatalog::scan(&dir).unwrap();
         assert_eq!(cat2.cache_hits(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_catalog_migrates_to_shards() {
+        let dir = tmp_dir("migrate");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\nz2,2\n").unwrap();
+        fs::write(dir.join("b.csv"), "zip,w\nz1,5\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+
+        // Rebuild the old layout by hand: one catalog.tsv, no shards.
+        let meta_dir = LakeCatalog::meta_dir(&dir);
+        let legacy = manifest::legacy_path(&meta_dir);
+        manifest::store(&legacy, cat.entries()).unwrap();
+        for k in 0..manifest::SHARD_COUNT {
+            let _ = fs::remove_file(manifest::shard_path(&meta_dir, k));
+        }
+
+        // The next scan reads the legacy manifest (all hits — nothing
+        // re-profiles), writes shards, and removes the old file.
+        let migrated = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(migrated.cache_hits(), 2, "migration must not re-profile");
+        assert_eq!(migrated.cache_misses(), 0);
+        assert_eq!(migrated.entries(), cat.entries());
+        assert!(!legacy.exists(), "legacy manifest removed after migration");
+        let occupied = manifest::occupied_shards(migrated.entries());
+        for &k in &occupied {
+            assert!(manifest::shard_path(&meta_dir, k).exists());
+        }
+
+        // And the sharded layout is now authoritative.
+        let again = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(again.cache_hits(), 2);
+        assert_eq!(again.shards_written(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_scan() {
+        let dir = tmp_dir("parallel");
+        for i in 0..23 {
+            let rows: String = (0..10).map(|r| format!("z{r},{}\n", r * (i + 1))).collect();
+            fs::write(
+                dir.join(format!("t{i:02}.csv")),
+                format!("zip,v{i}\n{rows}"),
+            )
+            .unwrap();
+        }
+        let sequential = LakeCatalog::scan_with(&dir, &ScanOptions::sequential()).unwrap();
+        let shard_texts = |d: &Path| -> Vec<Option<String>> {
+            (0..manifest::SHARD_COUNT)
+                .map(|k| {
+                    fs::read_to_string(manifest::shard_path(&LakeCatalog::meta_dir(d), k)).ok()
+                })
+                .collect()
+        };
+        let seq_shards = shard_texts(&dir);
+
+        // Wipe all persisted state and rescan with many workers.
+        fs::remove_dir_all(LakeCatalog::meta_dir(&dir)).unwrap();
+        let parallel = LakeCatalog::scan_with(&dir, &ScanOptions { threads: Some(4) }).unwrap();
+        assert_eq!(parallel.entries(), sequential.entries());
+        assert_eq!(parallel.cache_hits(), sequential.cache_hits());
+        assert_eq!(parallel.cache_misses(), sequential.cache_misses());
+        assert_eq!(
+            shard_texts(&dir),
+            seq_shards,
+            "manifest shards are byte-identical regardless of thread count"
+        );
+
+        // A warm parallel rescan hits everywhere, exactly like sequential.
+        let warm = LakeCatalog::scan_with(&dir, &ScanOptions { threads: Some(4) }).unwrap();
+        assert_eq!(warm.cache_hits(), 23);
+        assert_eq!(warm.cache_misses(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -336,6 +632,43 @@ mod tests {
     }
 
     #[test]
+    fn load_table_prefers_the_columnar_cache() {
+        let dir = tmp_dir("mtc");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\nz2,2\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        let counters = cat.load_counters();
+        let from_cache = cat.load_table("a").unwrap();
+        assert_eq!(counters.hits(), 1, "profile-time cache serves the load");
+        assert_eq!(counters.misses(), 0);
+        // The cached deserialization equals the CSV parse exactly.
+        let from_csv = read_table_file(&dir.join("a.csv")).unwrap();
+        assert_eq!(from_cache, from_csv);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_file_falls_back_to_csv_and_heals() {
+        let dir = tmp_dir("mtc-heal");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        let mtc = cache::cache_path(&dir, "a.csv");
+        assert!(mtc.exists(), "scan populates the cache");
+        // Truncate the payload: the load must fall back to CSV…
+        let bytes = fs::read(&mtc).unwrap();
+        fs::write(&mtc, &bytes[..bytes.len() / 2]).unwrap();
+        let counters = cat.load_counters();
+        let t = cat.load_table("a").unwrap();
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(counters.hits(), 0);
+        assert_eq!(counters.misses(), 1, "corrupt cache counts as a miss");
+        // …and heal the cache, so the next load hits again.
+        let t2 = cat.load_table("a").unwrap();
+        assert_eq!(t2, t);
+        assert_eq!(counters.hits(), 1, "healed cache serves the next load");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn load_all_except_skips_din() {
         let dir = tmp_dir("except");
         fs::write(dir.join("din.csv"), "k,y\na,1\n").unwrap();
@@ -344,6 +677,11 @@ mod tests {
         let tables = cat.load_all_except(&["din"]).unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].name, "ext");
+        assert_eq!(
+            cat.load_counters().hits(),
+            1,
+            "repository loads come from the columnar cache"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

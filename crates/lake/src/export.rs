@@ -7,12 +7,14 @@
 //! self-validating — discovery over the exported lake must recover the
 //! planted augmentations (see `tests/lake_roundtrip.rs`).
 //!
-//! Known fidelity limit: the CSV layer is typed by value, so *string*
-//! cells spelling a null marker (`"NA"`, `"null"`, `"none"`, `"-"`, the
-//! empty string) read back as nulls, and numeric-looking strings re-type
-//! to numbers. Join keys are unaffected (key normalization equates the
-//! spellings); datagen's planted signal columns are numeric, so the
-//! round-trip guarantee holds for every generated scenario.
+//! String cells round-trip verbatim: the CSV writer quotes any string
+//! that would otherwise re-type on read-back (null markers like `"NA"` /
+//! `"-"`, numeric or boolean spellings, padded whitespace), and quoted
+//! cells parse as verbatim strings — no spurious nulls, ever. Numeric
+//! cells keep their numeric value and null pattern, though a float column
+//! whose values are all integral (`1.0`, `2.0`) re-reads as an `Int`
+//! column — the text form carries no fraction to prove floatness; its
+//! numeric view (and what joins) is unchanged.
 
 use std::path::{Path, PathBuf};
 

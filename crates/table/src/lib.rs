@@ -13,13 +13,16 @@
 //! * hash (left) joins used to materialize join paths ([`join`]),
 //! * unions for record-addition augmentations ([`union`]),
 //! * seeded row sampling for cheap profile estimation ([`sample`]),
-//! * a minimal CSV reader/writer for interop ([`csv`]).
+//! * a minimal CSV reader/writer for interop ([`csv`]),
+//! * a lossless binary columnar format with explicit null bitmaps, used as
+//!   the lake's on-disk table cache ([`colbin`]).
 //!
 //! Everything is deterministic: no observable result of any operation depends
 //! on hash-map iteration order.
 
 #![warn(missing_docs)]
 
+pub mod colbin;
 pub mod column;
 pub mod csv;
 pub mod error;

@@ -36,7 +36,9 @@ commands:
 task kinds: classification:<column> | regression:<column> | clustering:<k>
 `--din` accepts a catalog table name or a path to a CSV file.
 `--json` prints a machine-readable report on stdout (progress still
-streams on stderr).";
+streams on stderr).
+`scan` profiles changed files in parallel (worker count from
+METAM_SCAN_THREADS, default: available cores).";
 
 type CliResult<T> = Result<T, Box<dyn std::error::Error>>;
 
@@ -192,8 +194,11 @@ fn cmd_scan(args: &[String]) -> CliResult<()> {
         catalog.cache_misses(),
     );
     println!(
-        "catalog: {}",
-        LakeCatalog::manifest_path(catalog.root()).display()
+        "catalog: {} ({} shards, {} rewritten) | table cache: {}",
+        LakeCatalog::meta_dir(catalog.root()).display(),
+        catalog.shard_count(),
+        catalog.shards_written(),
+        metam_lake::cache::cache_dir(catalog.root()).display(),
     );
     Ok(())
 }
@@ -334,12 +339,16 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
 
     let catalog = LakeCatalog::scan(dir)?;
     eprintln!(
-        "lake {dir}: {} tables ({} cache hits, {} misses)",
+        "lake {dir}: {} tables ({} cache hits, {} misses, {} shard(s) rewritten)",
         catalog.len(),
         catalog.cache_hits(),
-        catalog.cache_misses()
+        catalog.cache_misses(),
+        catalog.shards_written(),
     );
     warn_string_regression_target(&catalog, &din_arg, &task_spec, seed);
+    // The counter handle outlives the catalog's move into the session, so
+    // the .mtc-vs-CSV split can be reported after the run.
+    let load_counters = catalog.load_counters();
 
     let mut session = Session::from_catalog(catalog)
         .din(din_arg)
@@ -358,6 +367,11 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
     }
 
     let report = session.run(Method::Metam(MetamConfig::default()))?;
+    eprintln!(
+        "table cache: {} load(s) from .mtc, {} CSV fallback(s)",
+        load_counters.hits(),
+        load_counters.misses(),
+    );
     if json {
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {

@@ -81,5 +81,4 @@ pub use metam_table::Table;
 pub use session::{RunReport, Session, SessionError};
 
 pub mod cli;
-pub mod pipeline;
 pub mod session;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use metam_core::Task;
 use metam_datagen::{GroundTruth, Scenario};
 use metam_lake::catalog::read_table_file;
-use metam_lake::{LakeCatalog, LakeError};
+use metam_lake::{LakeCatalog, LakeError, ScanOptions};
 use metam_table::Table;
 use metam_tasks::build_task;
 
@@ -89,8 +89,8 @@ impl DataSource for ScenarioSource {
 }
 
 enum LakeBacking {
-    /// Scan the directory at prepare time.
-    Path(PathBuf),
+    /// Scan the directory at prepare time (with these scan options).
+    Path(PathBuf, ScanOptions),
     /// An already-scanned catalog.
     Catalog(LakeCatalog),
 }
@@ -108,10 +108,18 @@ pub struct LakeSource {
 }
 
 impl LakeSource {
-    /// Lake at a directory path; scanned when the session prepares.
+    /// Lake at a directory path; scanned when the session prepares
+    /// (changed files profile in parallel — worker count from
+    /// `METAM_SCAN_THREADS` or the machine's available parallelism).
     pub fn from_path(path: impl Into<PathBuf>) -> LakeSource {
+        LakeSource::from_path_with(path, ScanOptions::default())
+    }
+
+    /// Lake at a directory path with explicit [`ScanOptions`] (e.g. a
+    /// pinned worker count for reproducible benchmarking).
+    pub fn from_path_with(path: impl Into<PathBuf>, options: ScanOptions) -> LakeSource {
         LakeSource {
-            backing: LakeBacking::Path(path.into()),
+            backing: LakeBacking::Path(path.into(), options),
         }
     }
 
@@ -126,7 +134,7 @@ impl LakeSource {
 impl DataSource for LakeSource {
     fn describe(&self) -> String {
         match &self.backing {
-            LakeBacking::Path(p) => format!("CSV lake at {}", p.display()),
+            LakeBacking::Path(p, _) => format!("CSV lake at {}", p.display()),
             LakeBacking::Catalog(c) => {
                 format!("CSV lake at {} ({} tables)", c.root().display(), c.len())
             }
@@ -136,8 +144,8 @@ impl DataSource for LakeSource {
     fn load(&self, request: &SourceRequest) -> Result<SourceData, SessionError> {
         let scanned;
         let catalog = match &self.backing {
-            LakeBacking::Path(p) => {
-                scanned = LakeCatalog::scan(p)?;
+            LakeBacking::Path(p, options) => {
+                scanned = LakeCatalog::scan_with(p, options)?;
                 &scanned
             }
             LakeBacking::Catalog(c) => c,

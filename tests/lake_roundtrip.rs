@@ -155,6 +155,106 @@ fn second_scan_hits_the_profile_cache() {
 }
 
 #[test]
+fn null_marker_strings_roundtrip_without_spurious_nulls() {
+    // Regression: string cells spelling a null marker ("NA", "-", …) or a
+    // number used to collapse on CSV read-back. The writer now quotes
+    // them and the reader keeps quoted cells verbatim, so
+    // export_scenario → scan → load_table is value-lossless.
+    use metam_datagen::{GroundTruth, Scenario, TaskSpec};
+    use metam_table::{Column, Table, Value};
+    use std::sync::Arc;
+
+    let tricky: Vec<Option<String>> = vec![
+        Some("NA".into()),
+        Some("-".into()),
+        Some("null".into()),
+        Some("42".into()),
+        Some("plain".into()),
+        None,
+    ];
+    let keys: Vec<Option<String>> = (0..tricky.len()).map(|i| Some(format!("z{i}"))).collect();
+    let notes = Arc::new(
+        Table::from_columns(
+            "notes",
+            vec![
+                Column::from_strings(Some("zip".into()), keys.clone()),
+                Column::from_strings(Some("note".into()), tricky.clone()),
+            ],
+        )
+        .unwrap(),
+    );
+    let scenario = Scenario {
+        name: "markers".into(),
+        din: Table::from_columns(
+            "d",
+            vec![
+                Column::from_strings(Some("zip".into()), keys),
+                Column::from_ints(Some("label".into()), (0..6).map(|i| Some(i % 2)).collect()),
+            ],
+        )
+        .unwrap(),
+        tables: vec![notes],
+        spec: TaskSpec::Classification {
+            target: "label".into(),
+        },
+        ground_truth: GroundTruth::default(),
+        union_tables: Vec::new(),
+        eval_table: None,
+    };
+
+    let dir = tmp_dir("markers");
+    export_scenario(&scenario, &dir).expect("export");
+    let catalog = LakeCatalog::scan(&dir).expect("scan");
+    let loaded = catalog.load_table("notes").expect("load");
+    let note_col = loaded.column_by_name("note").expect("note column");
+    assert_eq!(note_col.null_count(), 1, "only the real null is null");
+    for (r, cell) in tricky.iter().enumerate() {
+        let expect = cell.clone().map_or(Value::Null, Value::Str);
+        assert_eq!(note_col.get(r), expect, "row {r}");
+    }
+
+    // The same guarantee holds when the load is served by the `.mtc`
+    // columnar cache (scan populated it) — and when it heals from CSV.
+    let counters = catalog.load_counters();
+    assert_eq!(counters.hits(), 1, "load came from the columnar cache");
+    let _ = std::fs::remove_dir_all(metam::lake::cache::cache_dir(&dir));
+    let from_csv = catalog.load_table("notes").expect("reload");
+    assert_eq!(from_csv, loaded, "CSV fallback is value-identical");
+    assert_eq!(counters.misses(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn discover_loads_candidate_tables_from_the_columnar_cache() {
+    // A discover run over a scanned lake must deserialize repository
+    // tables from `.mtc`, not re-parse CSV text (asserted via the shared
+    // load counters, which outlive the catalog's move into the session).
+    let dir = tmp_dir("mtc-discover");
+    let scenario = small_scenario(17);
+    export_scenario(&scenario, &dir).expect("export");
+
+    let catalog = LakeCatalog::scan(&dir).expect("scan");
+    let n_tables = catalog.len();
+    let counters = catalog.load_counters();
+    let prepared = Session::from_catalog(catalog)
+        .din("din")
+        .task_spec("classification:label")
+        .seed(17)
+        .prepare()
+        .expect("prepare");
+    assert!(!prepared.candidates.is_empty());
+    assert_eq!(
+        counters.hits(),
+        n_tables,
+        "every load (din + repository) must come from the columnar cache"
+    );
+    assert_eq!(counters.misses(), 0, "no CSV re-parsing on a warm lake");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn lake_prepare_matches_in_memory_prepare_candidates() {
     // The same scenario, prepared in memory and via the on-disk round
     // trip, must discover the same (table, column) candidate set — the

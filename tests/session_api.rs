@@ -88,6 +88,55 @@ fn absent_target_is_typed() {
 }
 
 #[test]
+fn scenario_prepare_produces_aligned_artifacts() {
+    // (Formerly covered by the removed pipeline::prepare wrapper tests.)
+    use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+    let scenario = build_supervised(&SupervisedConfig {
+        n_rows: 200,
+        n_informative: 2,
+        n_irrelevant_tables: 3,
+        n_erroneous_tables: 2,
+        ..Default::default()
+    });
+    let p = Session::from_scenario(scenario)
+        .seed(1)
+        .prepare()
+        .expect("scenario preparation is infallible");
+    assert!(!p.candidates.is_empty());
+    assert_eq!(p.candidates.len(), p.profiles.len());
+    assert_eq!(p.profile_names.len(), 5, "default profile set has 5");
+    assert!(p.target_column.is_some());
+    let rel = p.relevance.as_deref().expect("scenarios carry truth");
+    assert_eq!(rel.len(), p.candidates.len());
+    assert!(
+        rel.iter().any(|&r| r > 0.0),
+        "planted candidates must be discoverable"
+    );
+    assert!(rel.iter().all(|&r| (0.0..=1.0).contains(&r)));
+}
+
+#[test]
+fn unresolvable_source_default_target_degrades_to_unsupervised() {
+    // A spec target absent from din is tolerated when it comes from the
+    // *source* (scenario defaults), not the user: target_column = None
+    // instead of a TargetNotFound error.
+    use metam_datagen::supervised::{build_supervised, SupervisedConfig};
+    let mut scenario = build_supervised(&SupervisedConfig {
+        n_rows: 60,
+        n_irrelevant_tables: 1,
+        ..Default::default()
+    });
+    scenario.spec = metam_datagen::TaskSpec::Classification {
+        target: "ghost_column".into(),
+    };
+    let p = Session::from_scenario(scenario)
+        .seed(2)
+        .prepare()
+        .expect("lenient for source defaults");
+    assert_eq!(p.target_column, None, "degrades instead of erroring");
+}
+
+#[test]
 fn zero_budget_is_typed() {
     let dir = tmp_lake("zero-budget");
     let err = Session::from_lake(&dir)
