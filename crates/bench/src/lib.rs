@@ -13,8 +13,11 @@ use std::fs;
 use std::path::PathBuf;
 
 use metam::core::engine::SearchInputs;
-use metam::core::trace::resample;
-use metam::{run_method, Method, Prepared, RunResult};
+use metam::core::trace::{resample, TracePoint};
+use metam::{
+    run_method, run_method_with_observer, Method, Prepared, QueryEvent, RunObserver, RunResult,
+    StopReason,
+};
 use serde::Serialize;
 
 /// Command-line arguments shared by all experiment binaries.
@@ -222,8 +225,35 @@ pub fn query_grid(budget: usize, points: usize) -> Vec<usize> {
     grid
 }
 
-/// Run every method on the prepared scenario and resample each trace on the
-/// grid — the engine behind every utility-vs-queries panel.
+/// A [`RunObserver`] that rebuilds the utility-vs-queries trajectory from
+/// the per-query event stream — one point per counted task query — plus
+/// the stop reason. Observation is passive, so the recorded points are
+/// bit-identical to the engine's own trace.
+#[derive(Debug, Default)]
+pub struct TrajectoryRecorder {
+    /// `(queries, best utility so far)` after every counted query.
+    pub points: Vec<TracePoint>,
+    /// Why the search stopped, once it has.
+    pub stop_reason: Option<StopReason>,
+}
+
+impl RunObserver for TrajectoryRecorder {
+    fn on_query(&mut self, event: &QueryEvent<'_>) {
+        self.points.push(TracePoint {
+            queries: event.query,
+            utility: event.best_utility,
+        });
+    }
+
+    fn on_finish(&mut self, stop_reason: StopReason) {
+        self.stop_reason = Some(stop_reason);
+    }
+}
+
+/// Run every method on the prepared scenario and resample each per-query
+/// trajectory on the grid — the engine behind every utility-vs-queries
+/// panel. Trajectories come from the observer event stream
+/// ([`TrajectoryRecorder`]), not a re-run.
 pub fn run_methods(
     prepared: &Prepared,
     methods: &[Method],
@@ -234,10 +264,11 @@ pub fn run_methods(
     methods
         .iter()
         .map(|m| {
-            let r = run_method(m, &prepared.inputs(), theta, budget);
+            let mut recorder = TrajectoryRecorder::default();
+            let r = run_method_with_observer(m, &prepared.inputs(), theta, budget, &mut recorder);
             Series {
                 label: r.method.clone(),
-                points: resample(&r.trace, grid),
+                points: resample(&recorder.points, grid),
             }
         })
         .collect()
@@ -298,6 +329,31 @@ mod tests {
         assert_eq!(g[0], 0);
         assert!(g.windows(2).all(|w| w[0] < w[1]));
         assert!(*g.last().unwrap() >= 100);
+    }
+
+    #[test]
+    fn recorder_trajectory_matches_engine_trace() {
+        let scenario = metam::datagen::repo::price_classification(11);
+        let prepared = metam::Session::from_scenario(scenario)
+            .seed(11)
+            .prepare()
+            .expect("scenario sessions are infallible");
+        let mut recorder = TrajectoryRecorder::default();
+        let observed = run_method_with_observer(
+            &Method::Overlap,
+            &prepared.inputs(),
+            None,
+            40,
+            &mut recorder,
+        );
+        // One point per counted query, bit-identical to the engine's trace.
+        assert_eq!(recorder.points, observed.trace);
+        assert!(recorder.stop_reason.is_some());
+        // Observation is passive: the unobserved run is identical.
+        let plain = run_method(&Method::Overlap, &prepared.inputs(), None, 40);
+        assert_eq!(plain.queries, observed.queries);
+        assert_eq!(plain.selected, observed.selected);
+        assert_eq!(plain.utility, observed.utility);
     }
 
     #[test]

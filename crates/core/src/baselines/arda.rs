@@ -12,8 +12,9 @@ use metam_ml::importance::injection_scores;
 use metam_ml::tree::TreeTask;
 use metam_table::sample::sample_indices;
 
-use crate::baselines::common::greedy_over_order;
+use crate::baselines::common::greedy_over_order_with_observer;
 use crate::engine::SearchInputs;
+use crate::observer::{NoopObserver, RunObserver};
 use crate::runner::RunResult;
 
 /// Batch size for importance scoring.
@@ -102,8 +103,32 @@ pub fn run_iarda(
     classification: bool,
     seed: u64,
 ) -> RunResult {
-    let order = arda_ranking(inputs, classification, seed);
-    let mut result = greedy_over_order(inputs, &order, theta, max_queries, "iARDA");
+    run_iarda_with_observer(
+        inputs,
+        theta,
+        max_queries,
+        classification,
+        seed,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_iarda`] with streaming per-query callbacks (the importance-ranking
+/// phase itself spends no task queries and emits nothing).
+pub fn run_iarda_with_observer(
+    inputs: &SearchInputs<'_>,
+    theta: Option<f64>,
+    max_queries: usize,
+    classification: bool,
+    seed: u64,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
+    let order = {
+        let _span = metam_obs::span("baseline.arda_ranking", "iARDA");
+        arda_ranking(inputs, classification, seed)
+    };
+    let mut result =
+        greedy_over_order_with_observer(inputs, &order, theta, max_queries, "iARDA", observer);
     result.method = "iARDA".to_string();
     result
 }

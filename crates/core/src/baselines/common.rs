@@ -5,6 +5,8 @@ use std::collections::BTreeSet;
 use metam_discovery::CandidateId;
 
 use crate::engine::{QueryEngine, SearchInputs, StopSearch};
+use crate::metam::StopReason;
+use crate::observer::{NoopObserver, QueryKind, RunObserver};
 use crate::runner::RunResult;
 
 /// Greedily query candidates in the given order: each candidate is tried as
@@ -17,14 +19,32 @@ pub fn greedy_over_order(
     max_queries: usize,
     method: &str,
 ) -> RunResult {
-    let mut engine = QueryEngine::new(inputs, max_queries);
+    greedy_over_order_with_observer(inputs, order, theta, max_queries, method, &mut NoopObserver)
+}
+
+/// [`greedy_over_order`] with a streaming observer: per-query events flow
+/// from the shared engine, and the run's [`StopReason`] reaches
+/// [`RunObserver::on_finish`]. Observation is passive — the result is
+/// identical to an unobserved run.
+pub fn greedy_over_order_with_observer(
+    inputs: &SearchInputs<'_>,
+    order: &[CandidateId],
+    theta: Option<f64>,
+    max_queries: usize,
+    method: &str,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
+    let mut engine = QueryEngine::with_observer(inputs, max_queries, observer);
+    engine.notify_search_start(inputs.candidates.len(), 0);
     let mut selected: BTreeSet<CandidateId> = BTreeSet::new();
     let mut utility = 0.0;
     let mut base_utility = 0.0;
 
     let outcome = (|| -> Result<(), StopSearch> {
+        engine.set_kind(QueryKind::Base);
         base_utility = engine.base_utility()?;
         utility = base_utility;
+        engine.set_kind(QueryKind::Sequential);
         for &c in order {
             if theta.is_some_and(|t| utility >= t) {
                 break;
@@ -37,7 +57,10 @@ pub fn greedy_over_order(
         }
         Ok(())
     })();
-    let _ = outcome; // budget exhaustion just truncates the scan
+    // Budget exhaustion just truncates the scan; the reason is still
+    // reported to the observer.
+    let reason = stop_reason_of(outcome, theta, utility);
+    engine.notify_finish(reason);
 
     RunResult {
         method: method.to_string(),
@@ -46,6 +69,22 @@ pub fn greedy_over_order(
         base_utility,
         queries: engine.queries(),
         trace: engine.trace().to_vec(),
+    }
+}
+
+/// Why a baseline scan ended: θ if it got there, budget if the engine cut
+/// it off, otherwise it ran out of candidates.
+pub(crate) fn stop_reason_of(
+    outcome: Result<(), StopSearch>,
+    theta: Option<f64>,
+    utility: f64,
+) -> StopReason {
+    if theta.is_some_and(|t| utility >= t) {
+        StopReason::ThetaReached
+    } else if outcome.is_err() {
+        StopReason::BudgetExhausted
+    } else {
+        StopReason::Exhausted
     }
 }
 

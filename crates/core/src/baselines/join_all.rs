@@ -3,16 +3,37 @@
 use std::collections::BTreeSet;
 
 use crate::engine::{QueryEngine, SearchInputs};
+use crate::metam::StopReason;
+use crate::observer::{NoopObserver, QueryKind, RunObserver};
 use crate::runner::RunResult;
 
 /// Augment `Din` with *all* candidates and query once. Cheap in queries,
 /// expensive in width, and vulnerable to irrelevant/erroneous columns —
 /// exactly the failure mode the paper describes.
 pub fn run_join_all(inputs: &SearchInputs<'_>, max_queries: usize) -> RunResult {
-    let mut engine = QueryEngine::new(inputs, max_queries);
-    let base_utility = engine.base_utility().unwrap_or(0.0);
+    run_join_all_with_observer(inputs, max_queries, &mut NoopObserver)
+}
+
+/// [`run_join_all`] with streaming per-query callbacks.
+pub fn run_join_all_with_observer(
+    inputs: &SearchInputs<'_>,
+    max_queries: usize,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
+    let mut engine = QueryEngine::with_observer(inputs, max_queries, observer);
+    engine.notify_search_start(inputs.candidates.len(), 0);
+    engine.set_kind(QueryKind::Base);
+    let base = engine.base_utility();
+    let base_utility = base.unwrap_or(0.0);
+    engine.set_kind(QueryKind::Sequential);
     let all: BTreeSet<usize> = (0..inputs.candidates.len()).collect();
-    let utility = engine.utility_of(&all).unwrap_or(base_utility);
+    let joined = engine.utility_of(&all);
+    let utility = joined.unwrap_or(base_utility);
+    engine.notify_finish(if base.is_err() || joined.is_err() {
+        StopReason::BudgetExhausted
+    } else {
+        StopReason::Exhausted
+    });
     RunResult {
         method: "JoinAll".to_string(),
         selected: all.into_iter().collect(),

@@ -14,7 +14,9 @@ use std::collections::BTreeSet;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::baselines::common::stop_reason_of;
 use crate::engine::{QueryEngine, SearchInputs, StopSearch};
+use crate::observer::{NoopObserver, QueryKind, RunObserver};
 use crate::runner::RunResult;
 
 /// Multiplicative update factor.
@@ -27,9 +29,21 @@ pub fn run_mw(
     max_queries: usize,
     seed: u64,
 ) -> RunResult {
+    run_mw_with_observer(inputs, theta, max_queries, seed, &mut NoopObserver)
+}
+
+/// [`run_mw`] with streaming per-query callbacks.
+pub fn run_mw_with_observer(
+    inputs: &SearchInputs<'_>,
+    theta: Option<f64>,
+    max_queries: usize,
+    seed: u64,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
     let n = inputs.candidates.len();
     let l = inputs.profile_names.len().max(1);
-    let mut engine = QueryEngine::new(inputs, max_queries);
+    let mut engine = QueryEngine::with_observer(inputs, max_queries, observer);
+    engine.notify_search_start(n, 0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     // Expert rankings: candidates in descending profile value (ties → id).
@@ -55,8 +69,10 @@ pub fn run_mw(
     let mut base_utility = 0.0;
 
     let outcome = (|| -> Result<(), StopSearch> {
+        engine.set_kind(QueryKind::Base);
         base_utility = engine.base_utility()?;
         utility = base_utility;
+        engine.set_kind(QueryKind::Sequential);
         let mut remaining = n;
         while remaining > 0 {
             if theta.is_some_and(|t| utility >= t) {
@@ -105,7 +121,7 @@ pub fn run_mw(
         }
         Ok(())
     })();
-    let _ = outcome;
+    engine.notify_finish(stop_reason_of(outcome, theta, utility));
 
     RunResult {
         method: "MW".to_string(),

@@ -1,8 +1,9 @@
 //! Overlap-ranking baseline (§II-C "Join Path overlap ranking", as in
 //! S4 [14] and Ver [22]).
 
-use crate::baselines::common::greedy_over_order;
+use crate::baselines::common::greedy_over_order_with_observer;
 use crate::engine::SearchInputs;
+use crate::observer::{NoopObserver, RunObserver};
 use crate::runner::RunResult;
 
 /// Query candidates in non-increasing order of join overlap with `Din`.
@@ -10,6 +11,16 @@ use crate::runner::RunResult;
 /// Uses the `overlap` profile coordinate when the profile set computed one,
 /// otherwise the containment estimated at discovery time.
 pub fn run_overlap(inputs: &SearchInputs<'_>, theta: Option<f64>, max_queries: usize) -> RunResult {
+    run_overlap_with_observer(inputs, theta, max_queries, &mut NoopObserver)
+}
+
+/// [`run_overlap`] with streaming per-query callbacks.
+pub fn run_overlap_with_observer(
+    inputs: &SearchInputs<'_>,
+    theta: Option<f64>,
+    max_queries: usize,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
     let overlap_idx = inputs.profile_names.iter().position(|n| n == "overlap");
     let score = |c: usize| -> f64 {
         match overlap_idx {
@@ -24,7 +35,7 @@ pub fn run_overlap(inputs: &SearchInputs<'_>, theta: Option<f64>, max_queries: u
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    greedy_over_order(inputs, &order, theta, max_queries, "Overlap")
+    greedy_over_order_with_observer(inputs, &order, theta, max_queries, "Overlap", observer)
 }
 
 #[cfg(test)]

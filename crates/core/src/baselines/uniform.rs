@@ -3,8 +3,9 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::baselines::common::greedy_over_order;
+use crate::baselines::common::greedy_over_order_with_observer;
 use crate::engine::SearchInputs;
+use crate::observer::{NoopObserver, RunObserver};
 use crate::runner::RunResult;
 
 /// Query candidates in a seeded uniformly random order.
@@ -14,10 +15,21 @@ pub fn run_uniform(
     max_queries: usize,
     seed: u64,
 ) -> RunResult {
+    run_uniform_with_observer(inputs, theta, max_queries, seed, &mut NoopObserver)
+}
+
+/// [`run_uniform`] with streaming per-query callbacks.
+pub fn run_uniform_with_observer(
+    inputs: &SearchInputs<'_>,
+    theta: Option<f64>,
+    max_queries: usize,
+    seed: u64,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
     let mut order: Vec<usize> = (0..inputs.candidates.len()).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
-    greedy_over_order(inputs, &order, theta, max_queries, "Uniform")
+    greedy_over_order_with_observer(inputs, &order, theta, max_queries, "Uniform", observer)
 }
 
 #[cfg(test)]

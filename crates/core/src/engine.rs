@@ -4,12 +4,21 @@
 //! A *query* (the unit of the paper's x-axes) is one evaluation of the task
 //! on a distinct augmented dataset; repeated evaluations of the same
 //! augmentation set hit the memo and are free.
+//!
+//! The engine is also the **one telemetry chokepoint** every method shares:
+//! each counted query notifies the attached [`RunObserver`] (a
+//! [`QueryEvent`]) and — when a `metam-obs` trace sink is installed —
+//! emits a JSONL `query` event. Observation is passive (no RNG, no budget,
+//! no result impact) and costs one atomic load per query when off.
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 use metam_discovery::{Candidate, CandidateId, Materializer};
 use metam_table::Table;
 
+use crate::metam::StopReason;
+use crate::observer::{QueryEvent, QueryKind, RoundEvent, RunObserver};
 use crate::task::Task;
 use crate::trace::TracePoint;
 
@@ -60,6 +69,10 @@ pub struct QueryEngine<'a> {
     best_utility: f64,
     best_set: BTreeSet<CandidateId>,
     certification_ignored: usize,
+    cache_hits: usize,
+    observer: Option<&'a mut dyn RunObserver>,
+    kind: QueryKind,
+    pending_candidate: Option<CandidateId>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -74,12 +87,99 @@ impl<'a> QueryEngine<'a> {
             best_utility: 0.0,
             best_set: BTreeSet::new(),
             certification_ignored: 0,
+            cache_hits: 0,
+            observer: None,
+            kind: QueryKind::Sequential,
+            pending_candidate: None,
         }
+    }
+
+    /// [`new`](Self::new) with a streaming observer attached: every
+    /// counted query (from any method) raises
+    /// [`RunObserver::on_query`]; round/start/finish notifications route
+    /// through [`notify_round`](Self::notify_round) and friends.
+    pub fn with_observer(
+        inputs: &'a SearchInputs<'a>,
+        budget: usize,
+        observer: &'a mut dyn RunObserver,
+    ) -> QueryEngine<'a> {
+        let mut engine = QueryEngine::new(inputs, budget);
+        engine.observer = Some(observer);
+        engine
     }
 
     /// Queries issued so far.
     pub fn queries(&self) -> usize {
         self.queries
+    }
+
+    /// Memoized evaluations served for free so far.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Label subsequent queries with the mechanism that issues them
+    /// (pure telemetry; never affects evaluation).
+    pub fn set_kind(&mut self, kind: QueryKind) {
+        self.kind = kind;
+    }
+
+    /// `true` when per-query telemetry is live (an observer is attached or
+    /// a trace sink is installed) — the guard for timing overhead.
+    fn observing(&self) -> bool {
+        self.observer.is_some() || metam_obs::enabled()
+    }
+
+    /// Forward "search is starting" to the observer and the trace sink.
+    pub fn notify_search_start(&mut self, n_candidates: usize, n_clusters: usize) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_search_start(n_candidates, n_clusters);
+        }
+        if metam_obs::enabled() {
+            metam_obs::Event::event("search_start", "search")
+                .int("candidates", n_candidates)
+                .int("clusters", n_clusters)
+                .int("budget", self.budget)
+                .emit();
+        }
+    }
+
+    /// Forward a finished round to the observer and the trace sink.
+    pub fn notify_round(&mut self, event: &RoundEvent<'_>) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_round(event);
+        }
+        if metam_obs::enabled() {
+            metam_obs::Event::event("round", "round")
+                .int("round", event.round)
+                .int("queries", event.queries)
+                .int("queries_remaining", event.queries_remaining)
+                .num("best_utility", event.best_utility)
+                .num("base_utility", event.base_utility)
+                .ints("selected", event.selected)
+                .emit();
+        }
+    }
+
+    /// Forward "search ended" to the observer and the trace sink, and
+    /// flush this run's engine counters into the metrics registry.
+    pub fn notify_finish(&mut self, stop_reason: StopReason) {
+        metam_obs::counter_add("engine.queries", self.queries as u64);
+        metam_obs::counter_add("engine.cache_hits", self.cache_hits as u64);
+        metam_obs::counter_add(
+            "engine.certification_ignored",
+            self.certification_ignored as u64,
+        );
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_finish(stop_reason);
+        }
+        if metam_obs::enabled() {
+            metam_obs::Event::event("finish", stop_reason.label())
+                .int("queries", self.queries)
+                .int("queries_remaining", self.remaining())
+                .num("best_utility", self.best_utility)
+                .emit();
+        }
     }
 
     /// Remaining budget (`usize::MAX` for an unbounded search).
@@ -120,28 +220,66 @@ impl<'a> QueryEngine<'a> {
     /// Utility of `Din ⊕ set`. Counts one query on a cache miss; returns
     /// `Err(StopSearch)` when the budget is exhausted *before* evaluating.
     pub fn utility_of(&mut self, set: &BTreeSet<CandidateId>) -> Result<f64, StopSearch> {
+        // The extend-candidate hint applies to exactly the next evaluation,
+        // memoized or not — a cache hit must still consume it so it cannot
+        // leak onto an unrelated later query.
+        let pending = self.pending_candidate.take();
         if let Some(&u) = self.cache.get(set) {
+            self.cache_hits += 1;
             return Ok(u);
         }
         if self.queries >= self.budget {
             return Err(StopSearch);
         }
+        let observing = self.observing();
+        let started = observing.then(Instant::now);
         let table = self.augmented_table(set);
         let u = self.inputs.task.utility(&table).clamp(0.0, 1.0);
+        let duration_secs = started.map_or(0.0, |t| t.elapsed().as_secs_f64());
         self.queries += 1;
         self.cache.insert(set.clone(), u);
-        if self.trace.is_empty() || u > self.best_utility {
-            self.best_utility = if self.trace.is_empty() {
-                u
-            } else {
-                self.best_utility.max(u)
-            };
+        let first = self.trace.is_empty();
+        let prev_best = self.best_utility;
+        if first || u > self.best_utility {
+            self.best_utility = if first { u } else { self.best_utility.max(u) };
             self.best_set = set.clone();
         }
         self.trace.push(TracePoint {
             queries: self.queries,
             utility: self.best_utility,
         });
+        if observing {
+            let set_vec: Vec<CandidateId> = set.iter().copied().collect();
+            let event = QueryEvent {
+                query: self.queries,
+                kind: self.kind,
+                set: &set_vec,
+                candidate: pending,
+                utility: u,
+                best_utility: self.best_utility,
+                delta: if first { 0.0 } else { u - prev_best },
+                duration_secs,
+                queries_remaining: remaining_budget(self.budget, self.queries),
+            };
+            metam_obs::record("engine.query_secs", duration_secs);
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_query(&event);
+            }
+            if metam_obs::enabled() {
+                let mut line = metam_obs::Event::event("query", event.kind.label())
+                    .int("query", event.query)
+                    .ints("set", &set_vec)
+                    .num("utility", event.utility)
+                    .num("best_utility", event.best_utility)
+                    .num("delta", event.delta)
+                    .num("secs", event.duration_secs)
+                    .int("queries_remaining", event.queries_remaining);
+                if let Some(c) = event.candidate {
+                    line = line.int("candidate", c);
+                }
+                line.emit();
+            }
+        }
         Ok(u)
     }
 
@@ -159,6 +297,7 @@ impl<'a> QueryEngine<'a> {
     ) -> Result<(f64, f64, bool), StopSearch> {
         let mut set = base.clone();
         set.insert(add);
+        self.pending_candidate = Some(add);
         let raw = self.utility_of(&set)?;
         if !certify {
             return Ok((raw, raw, false));

@@ -52,8 +52,8 @@ pub mod trace;
 pub use cluster::{cluster_partition, Clustering};
 pub use engine::{QueryEngine, SearchInputs, StopSearch};
 pub use metam::{Metam, MetamConfig, MetamResult, StopReason};
-pub use observer::{NoopObserver, RoundEvent, RunObserver};
+pub use observer::{NoopObserver, QueryEvent, QueryKind, RoundEvent, RunObserver};
 pub use prepared::{assemble, AssembleOptions, Prepared};
-pub use runner::{run_method, Method, RunResult};
+pub use runner::{run_method, run_method_with_observer, Method, RunResult};
 pub use task::Task;
 pub use trace::{utility_at, TracePoint};

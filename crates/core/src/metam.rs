@@ -25,7 +25,7 @@ use crate::cluster::{cluster_partition, Clustering};
 use crate::engine::{QueryEngine, SearchInputs, StopSearch};
 use crate::group::GroupState;
 use crate::minimal::identify_minimal;
-use crate::observer::{NoopObserver, RoundEvent, RunObserver};
+use crate::observer::{NoopObserver, QueryKind, RoundEvent, RunObserver};
 use crate::quality::QualityModel;
 use crate::trace::TracePoint;
 
@@ -40,6 +40,18 @@ pub enum StopReason {
     Exhausted,
     /// The round safety limit was hit.
     MaxRounds,
+}
+
+impl StopReason {
+    /// Stable machine-readable label (trace events, metrics names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::ThetaReached => "theta_reached",
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::Exhausted => "exhausted",
+            StopReason::MaxRounds => "max_rounds",
+        }
+    }
 }
 
 impl fmt::Display for StopReason {
@@ -171,10 +183,11 @@ impl Metam {
     ) -> MetamResult {
         let cfg = &self.config;
         let n = inputs.candidates.len();
-        let mut engine = QueryEngine::new(inputs, cfg.max_queries);
+        let mut engine = QueryEngine::with_observer(inputs, cfg.max_queries, observer);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         let mut clustering = if cfg.use_clustering {
+            let _span = metam_obs::span("search.cluster", "cluster_partition");
             cluster_partition(inputs.profiles, cfg.epsilon, cfg.seed)
         } else {
             Clustering::singletons(n)
@@ -186,6 +199,7 @@ impl Metam {
         // fall back to singleton clusters and drop utility propagation.
         let mut stop_reason: Option<StopReason> = None;
         if cfg.check_homogeneity && cfg.use_clustering && n > 0 {
+            engine.set_kind(QueryKind::Probe);
             match homogeneity_ok(&mut engine, &clustering, cfg.epsilon, &mut rng) {
                 Ok(true) => {}
                 Ok(false) => {
@@ -197,12 +211,11 @@ impl Metam {
             }
         }
 
-        observer.on_search_start(n, clustering.len());
+        engine.notify_search_start(n, clustering.len());
         let mut search = Search {
             cfg,
             inputs,
             clustering: &clustering,
-            observer,
             quality,
             sampler,
             group_state: GroupState::new(cfg.group_cap),
@@ -233,12 +246,15 @@ impl Metam {
         // Line 24: minimality check against θ (or the achieved utility when
         // no θ was given — keep what we reached, with fewer columns).
         if cfg.minimality && !final_set.is_empty() {
+            engine.set_kind(QueryKind::Minimality);
             let theta_eff = cfg.theta.unwrap_or(final_u).min(final_u);
             final_set = identify_minimal(&mut engine, &final_set, theta_eff);
             if let Ok(u) = engine.utility_of(&final_set) {
                 final_u = u;
             }
         }
+
+        engine.notify_finish(reason);
 
         MetamResult {
             selected: final_set.into_iter().collect(),
@@ -259,7 +275,6 @@ struct Search<'a, 'b> {
     cfg: &'a MetamConfig,
     inputs: &'a SearchInputs<'b>,
     clustering: &'a Clustering,
-    observer: &'a mut dyn RunObserver,
     quality: QualityModel,
     sampler: ThompsonSampler,
     group_state: GroupState,
@@ -288,6 +303,7 @@ impl Search<'_, '_> {
 
     fn run_loop(&mut self, engine: &mut QueryEngine<'_>) -> Result<StopReason, StopSearch> {
         let n = self.inputs.candidates.len();
+        engine.set_kind(QueryKind::Base);
         if n == 0 {
             self.base_utility = engine.base_utility()?;
             self.u_d = self.base_utility;
@@ -295,6 +311,7 @@ impl Search<'_, '_> {
         }
         self.base_utility = engine.base_utility()?;
         self.u_d = self.base_utility;
+        engine.set_kind(QueryKind::Sequential);
         let tau = self.cfg.tau.unwrap_or_else(|| self.clustering.len()).max(1);
 
         for _round in 0..self.cfg.max_rounds {
@@ -322,14 +339,14 @@ impl Search<'_, '_> {
     }
 
     /// Stream the round outcome to the observer (no effect on the search).
-    fn emit_round(&mut self, round: usize, engine: &QueryEngine<'_>) {
+    fn emit_round(&mut self, round: usize, engine: &mut QueryEngine<'_>) {
         let (winner, best) = if self.u_group_best > self.u_d {
             (&self.t_star_c, self.u_group_best)
         } else {
             (&self.t_star, self.u_d)
         };
         let selected: Vec<CandidateId> = winner.iter().copied().collect();
-        self.observer.on_round(&RoundEvent {
+        engine.notify_round(&RoundEvent {
             round,
             queries: engine.queries(),
             queries_remaining: engine.remaining(),
@@ -367,6 +384,7 @@ impl Search<'_, '_> {
             };
 
             // Line 10: sequential query (with P3 certification).
+            engine.set_kind(QueryKind::Sequential);
             let (effective, raw, _ignored) =
                 engine.utility_extend(&self.t_star, pmax, self.cfg.monotonic_certification)?;
             let cluster = self.clustering.cluster_of(pmax);
@@ -394,6 +412,7 @@ impl Search<'_, '_> {
                     .propose(self.clustering, &self.sampler, &mut self.rng)
             {
                 let gset: BTreeSet<CandidateId> = group.iter().copied().collect();
+                engine.set_kind(QueryKind::Group);
                 let ug = engine.utility_of(&gset)?;
                 if ug > self.u_group_best {
                     self.u_group_best = ug;

@@ -106,17 +106,30 @@ pub fn assemble(
     profile_set: &ProfileSet,
     options: &AssembleOptions,
 ) -> Prepared {
-    let index = DiscoveryIndex::build(tables.clone());
-    let candidates = generate_candidates(&din, &index, &options.path, options.max_candidates);
+    let index = {
+        let mut span = metam_obs::span("prepare.index", &din.name);
+        span.field("tables", tables.len() as f64);
+        DiscoveryIndex::build(tables.clone())
+    };
+    let candidates = {
+        let mut span = metam_obs::span("prepare.candidates", &din.name);
+        let candidates = generate_candidates(&din, &index, &options.path, options.max_candidates);
+        span.field("candidates", candidates.len() as f64);
+        candidates
+    };
     let materializer = Materializer::new(tables);
-    let profiles = profile_set.evaluate_all(
-        &din,
-        target_column,
-        &candidates,
-        &materializer,
-        options.profile_sample,
-        options.seed,
-    );
+    let profiles = {
+        let mut span = metam_obs::span("prepare.profiles", &din.name);
+        span.field("candidates", candidates.len() as f64);
+        profile_set.evaluate_all(
+            &din,
+            target_column,
+            &candidates,
+            &materializer,
+            options.profile_sample,
+            options.seed,
+        )
+    };
     let profile_names = profile_set.names().into_iter().map(String::from).collect();
     Prepared {
         din,

@@ -6,6 +6,7 @@ use metam_discovery::CandidateId;
 use crate::baselines;
 use crate::engine::SearchInputs;
 use crate::metam::{Metam, MetamConfig};
+use crate::observer::{NoopObserver, RunObserver};
 use crate::trace::TracePoint;
 
 /// A method the harness can run.
@@ -74,12 +75,26 @@ pub fn run_method(
     theta: Option<f64>,
     max_queries: usize,
 ) -> RunResult {
+    run_method_with_observer(method, inputs, theta, max_queries, &mut NoopObserver)
+}
+
+/// [`run_method`] with streaming callbacks: every method (Metam and all
+/// baselines) raises per-query [`QueryEvent`](crate::observer::QueryEvent)s
+/// through the shared engine, plus `on_search_start`/`on_finish`.
+/// Observation is passive — results are identical to [`run_method`].
+pub fn run_method_with_observer(
+    method: &Method,
+    inputs: &SearchInputs<'_>,
+    theta: Option<f64>,
+    max_queries: usize,
+    observer: &mut dyn RunObserver,
+) -> RunResult {
     match method {
         Method::Metam(config) => {
             let mut cfg = config.clone();
             cfg.theta = theta;
             cfg.max_queries = max_queries;
-            let r = Metam::new(cfg).run(inputs);
+            let r = Metam::new(cfg).run_with_observer(inputs, observer);
             RunResult {
                 method: "Metam".to_string(),
                 selected: r.selected,
@@ -89,14 +104,27 @@ pub fn run_method(
                 trace: r.trace,
             }
         }
-        Method::Uniform { seed } => baselines::run_uniform(inputs, theta, max_queries, *seed),
-        Method::Overlap => baselines::run_overlap(inputs, theta, max_queries),
-        Method::Mw { seed } => baselines::run_mw(inputs, theta, max_queries, *seed),
+        Method::Uniform { seed } => {
+            baselines::run_uniform_with_observer(inputs, theta, max_queries, *seed, observer)
+        }
+        Method::Overlap => {
+            baselines::run_overlap_with_observer(inputs, theta, max_queries, observer)
+        }
+        Method::Mw { seed } => {
+            baselines::run_mw_with_observer(inputs, theta, max_queries, *seed, observer)
+        }
         Method::IArda {
             classification,
             seed,
-        } => baselines::run_iarda(inputs, theta, max_queries, *classification, *seed),
-        Method::JoinAll => baselines::run_join_all(inputs, max_queries),
+        } => baselines::run_iarda_with_observer(
+            inputs,
+            theta,
+            max_queries,
+            *classification,
+            *seed,
+            observer,
+        ),
+        Method::JoinAll => baselines::run_join_all_with_observer(inputs, max_queries, observer),
     }
 }
 

@@ -154,6 +154,7 @@ struct MissJob {
 /// persist the parsed table into the columnar cache (best-effort — a
 /// read-only `.metam` degrades loads to CSV, it must not fail the scan).
 fn profile_one(root: &Path, job: &MissJob) -> Result<TableMeta> {
+    let _span = metam_obs::span("scan.profile", &job.file_name);
     let table = read_table_file(&job.path)?;
     let _ = cache::store(root, &job.file_name, job.fp, &table);
     Ok(TableMeta {
@@ -228,6 +229,7 @@ impl LakeCatalog {
     /// changed) before returning.
     pub fn scan_with(root: impl AsRef<Path>, options: &ScanOptions) -> Result<LakeCatalog> {
         let root = root.as_ref().to_path_buf();
+        let mut scan_span = metam_obs::span("scan", root.display().to_string());
         let meta_dir = Self::meta_dir(&root);
         // A corrupt shard must not brick the lake: its entries are simply
         // absent from the cached view (the rewrite below heals it).
@@ -313,6 +315,12 @@ impl LakeCatalog {
         }
 
         let shards_written = manifest::store_sharded(&meta_dir, &entries)?;
+        metam_obs::counter_add("lake.scan.profile_hits", cache_hits as u64);
+        metam_obs::counter_add("lake.scan.profile_misses", cache_misses as u64);
+        metam_obs::counter_add("lake.scan.shards_written", shards_written as u64);
+        scan_span.field("files", entries.len() as f64);
+        scan_span.field("profile_hits", cache_hits as f64);
+        scan_span.field("profile_misses", cache_misses as f64);
         let by_name = entries
             .iter()
             .enumerate()

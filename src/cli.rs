@@ -5,6 +5,8 @@
 //! metam scan <dir>                         build/refresh the catalog
 //! metam profile <dir> [--table NAME] [--json]
 //! metam discover <dir> --din NAME --task kind:arg [options] [--json]
+//!                [--trace FILE|stderr]
+//! metam trace-validate <file>              check a JSONL trace's schema
 //! ```
 //!
 //! `discover` runs the full goal-oriented pipeline over the lake through
@@ -13,6 +15,13 @@
 //! search is in flight, and the final [`RunReport`] prints as text or — with
 //! `--json` — as a machine-readable payload for scripting and bench
 //! harnesses.
+//!
+//! Telemetry: `--trace <path|stderr>` (or the `METAM_TRACE` environment
+//! variable) installs a JSONL event sink; every span close, query, round
+//! and finish event in the pipeline writes one line. The `--json` report
+//! carries a `metrics` section (span timings, engine counters, cache
+//! stats) either way. Tracing is passive — results are bit-identical with
+//! it on or off.
 
 use metam_core::{MetamConfig, Method};
 use metam_datagen::repo::price_classification;
@@ -29,14 +38,18 @@ commands:
   profile <dir> [--table T] [--json]
                               print cached per-column statistics
   discover <dir> --din NAME --task kind:arg
-           [--theta T] [--budget N] [--seed N]
+           [--theta T] [--budget N|unbounded] [--seed N]
            [--max-candidates N] [--sample N] [--json]
+           [--trace FILE|stderr]
                               run goal-oriented discovery over the lake
+  trace-validate <file>       check a JSONL trace file against the schema
 
 task kinds: classification:<column> | regression:<column> | clustering:<k>
 `--din` accepts a catalog table name or a path to a CSV file.
 `--json` prints a machine-readable report on stdout (progress still
 streams on stderr).
+`--trace` (or METAM_TRACE=<path|stderr>) writes one JSONL telemetry line
+per span/query/round/finish event; tracing never changes results.
 `scan` profiles changed files in parallel (worker count from
 METAM_SCAN_THREADS, default: available cores).";
 
@@ -130,6 +143,9 @@ pub fn run(args: &[String]) -> i32 {
 }
 
 fn dispatch(args: &[String]) -> CliResult<()> {
+    // Honor METAM_TRACE=<path|stderr> for every command; `discover
+    // --trace` below overrides it.
+    metam_obs::init_from_env();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
         return Err(bad("no command given"));
@@ -140,6 +156,7 @@ fn dispatch(args: &[String]) -> CliResult<()> {
         "scan" => cmd_scan(rest),
         "profile" => cmd_profile(rest),
         "discover" => cmd_discover(rest),
+        "trace-validate" => cmd_trace_validate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -243,9 +260,20 @@ fn cmd_profile(args: &[String]) -> CliResult<()> {
     Ok(())
 }
 
-/// Machine-readable catalog statistics (`profile --json`).
+/// Machine-readable catalog statistics (`profile --json`): per-table
+/// column stats plus the scan's profile-cache and `.mtc`-vs-CSV load
+/// counters.
 fn profile_json(catalog: &LakeCatalog, only: Option<&str>) -> String {
-    let mut out = String::from("[");
+    let counters = catalog.load_counters();
+    let mut out = String::from("{\"cache\":{");
+    out.push_str(&format!(
+        "\"profile_hits\":{},\"profile_misses\":{},\"mtc_loads\":{},\"csv_fallbacks\":{}}}",
+        catalog.cache_hits(),
+        catalog.cache_misses(),
+        counters.hits(),
+        counters.misses(),
+    ));
+    out.push_str(",\"tables\":[");
     let mut first_table = true;
     for entry in catalog.entries() {
         if only.is_some_and(|n| n != entry.name) {
@@ -278,7 +306,7 @@ fn profile_json(catalog: &LakeCatalog, only: Option<&str>) -> String {
         }
         out.push_str("]}");
     }
-    out.push(']');
+    out.push_str("]}");
     out
 }
 
@@ -322,7 +350,15 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         "max-candidates",
         "sample",
         "json",
+        "trace",
     ])?;
+    if let Some(target) = flags.get("trace") {
+        if target == "stderr" {
+            metam_obs::install_stderr();
+        } else {
+            metam_obs::install_file(target).map_err(|e| bad(format!("--trace {target}: {e}")))?;
+        }
+    }
     let dir = lake_dir(&flags)?;
     let din_arg = flags
         .get("din")
@@ -333,7 +369,10 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         .ok_or_else(|| bad("discover needs --task kind:arg"))?
         .to_string();
     let theta = flags.get_num::<f64>("theta")?;
-    let budget = flags.get_num::<usize>("budget")?.unwrap_or(300);
+    let budget = match flags.get("budget") {
+        Some("unbounded") => usize::MAX,
+        _ => flags.get_num::<usize>("budget")?.unwrap_or(300),
+    };
     let seed = flags.get_num::<u64>("seed")?.unwrap_or(0);
     let json = flags.has("json");
 
@@ -367,6 +406,7 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
     }
 
     let report = session.run(Method::Metam(MetamConfig::default()))?;
+    metam_obs::flush();
     eprintln!(
         "table cache: {} load(s) from .mtc, {} CSV fallback(s)",
         load_counters.hits(),
@@ -376,6 +416,24 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {
         print_report(&report);
+    }
+    Ok(())
+}
+
+fn cmd_trace_validate(args: &[String]) -> CliResult<()> {
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&[])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| bad("trace-validate needs a <file> argument"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| bad(format!("cannot read {path}: {e}")))?;
+    let (spans, events) =
+        metam_obs::validate_trace(&text).map_err(|e| bad(format!("{path}: {e}")))?;
+    println!("{path}: ok ({spans} span line(s), {events} event line(s))");
+    if spans + events == 0 {
+        return Err(bad(format!("{path} holds no trace lines")));
     }
     Ok(())
 }
@@ -451,12 +509,16 @@ fn print_report(report: &RunReport) {
         report.base_utility,
         report.gain()
     );
-    println!(
-        "queries: {} used / {} budget ({} remaining)",
-        report.queries,
-        report.budget,
-        report.queries_remaining()
-    );
+    if report.budget == usize::MAX {
+        println!("queries: {} used / unbounded budget", report.queries);
+    } else {
+        println!(
+            "queries: {} used / {} budget ({} remaining)",
+            report.queries,
+            report.budget,
+            report.queries_remaining()
+        );
+    }
     if let Some(reason) = report.stop_reason {
         println!("stop reason: {reason}");
     }
@@ -506,10 +568,15 @@ mod tests {
         fs::write(dir.join("a.csv"), "zip,v\nz1,1\nz2,\n").unwrap();
         let catalog = LakeCatalog::scan(&dir).unwrap();
         let json = profile_json(&catalog, None);
-        assert!(json.starts_with('[') && json.ends_with(']'));
-        assert!(json.contains("\"table\":\"a\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache\":{\"profile_hits\":0,\"profile_misses\":1"));
+        assert!(json.contains("\"mtc_loads\":0,\"csv_fallbacks\":0"));
+        assert!(json.contains("\"tables\":[{\"table\":\"a\""));
         assert!(json.contains("\"name\":\"v\""));
         assert!(json.contains("\"nulls\":1"));
+        // Loads show up in the counters the next render reads.
+        catalog.load_table("a").unwrap();
+        assert!(profile_json(&catalog, None).contains("\"mtc_loads\":1"));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -586,6 +653,41 @@ mod tests {
     }
 
     #[test]
+    fn discover_trace_writes_validatable_jsonl() {
+        let dir = tmp_lake("trace");
+        let d = dir.to_string_lossy().into_owned();
+        assert_eq!(run(&strs(&["demo", &d, "--seed", "3"])), 0);
+        let trace = dir.join("run.jsonl");
+        let t = trace.to_string_lossy().into_owned();
+        assert_eq!(
+            run(&strs(&[
+                "discover",
+                &d,
+                "--din",
+                "din",
+                "--task",
+                "classification:label",
+                "--budget",
+                "40",
+                "--trace",
+                &t,
+            ])),
+            0
+        );
+        metam_obs::disable();
+        let text = fs::read_to_string(&trace).unwrap();
+        let (spans, events) = metam_obs::validate_trace(&text).expect("schema-clean trace");
+        assert!(spans > 0, "span lines (scan/prepare/search) present");
+        assert!(events > 0, "query/round/finish events present");
+        assert!(text.contains("\"event\":\"query\""));
+        assert!(text.contains("\"event\":\"finish\""));
+        // And the CLI validator agrees.
+        assert_eq!(run(&strs(&["trace-validate", &t])), 0);
+        assert_eq!(run(&strs(&["trace-validate", "/nonexistent.jsonl"])), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn discover_accepts_clustering_spec() {
         let dir = tmp_lake("clu");
         let d = dir.to_string_lossy().into_owned();
@@ -606,6 +708,21 @@ mod tests {
                 "clustering:2",
                 "--budget",
                 "30",
+            ])),
+            0
+        );
+        // An explicit unbounded budget runs to exhaustion on this tiny
+        // lake and prints the "unbounded budget" line.
+        assert_eq!(
+            run(&strs(&[
+                "discover",
+                &d,
+                "--din",
+                "din",
+                "--task",
+                "clustering:2",
+                "--budget",
+                "unbounded",
             ])),
             0
         );

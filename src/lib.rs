@@ -50,11 +50,13 @@
 //! [`Session::run`](session::Session::run) does prepare + search in one
 //! step and returns a [`session::RunReport`] with budget accounting,
 //! wall-clock timings and the utility trace. Attach a
-//! [`session::RunObserver`] to stream per-round progress. The `metam`
-//! binary ([`cli`]) wraps this as `scan` / `profile` / `discover`
-//! subcommands.
+//! [`session::RunObserver`] to stream per-query and per-round progress,
+//! or set `METAM_TRACE=<path>` (see [`obs`]) to capture a JSONL trace of
+//! spans, queries and metrics. The `metam` binary ([`cli`]) wraps this as
+//! `scan` / `profile` / `discover` / `trace-validate` subcommands.
 //!
-//! Crate map: [`table`] (columnar substrate) → [`discovery`] (join-path
+//! Crate map: [`obs`] (tracing/metrics facade, no deps) / [`table`]
+//! (columnar substrate) → [`discovery`] (join-path
 //! index) / [`ml`] (models) / [`causal`] (independence tests) →
 //! [`profile`] (data profiles) → [`core`] (the algorithm, baselines, and
 //! the [`Prepared`] assembly) → [`datagen`] (synthetic repositories) →
@@ -69,13 +71,14 @@ pub use metam_datagen as datagen;
 pub use metam_discovery as discovery;
 pub use metam_lake as lake;
 pub use metam_ml as ml;
+pub use metam_obs as obs;
 pub use metam_profile as profile;
 pub use metam_table as table;
 pub use metam_tasks as tasks;
 
 pub use metam_core::{
-    run_method, Metam, MetamConfig, MetamResult, Method, Prepared, RoundEvent, RunObserver,
-    RunResult, StopReason, Task,
+    run_method, run_method_with_observer, Metam, MetamConfig, MetamResult, Method, NoopObserver,
+    Prepared, QueryEvent, QueryKind, RoundEvent, RunObserver, RunResult, StopReason, Task,
 };
 pub use metam_table::Table;
 pub use session::{RunReport, Session, SessionError};

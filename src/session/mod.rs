@@ -28,15 +28,16 @@
 //! Fallible configuration (a lake without a task, an unknown target
 //! column, a zero budget) surfaces as a typed [`SessionError`] instead of
 //! a panic. Attach a [`RunObserver`] with
-//! [`observer`](Session::observer) to stream per-round progress while the
-//! search is in flight.
+//! [`observer`](Session::observer) to stream per-query and per-round
+//! progress while the search is in flight — every method (Metam and all
+//! baselines) raises [`QueryEvent`]s through the shared query engine.
 
 mod error;
 mod report;
 mod source;
 
 pub use error::SessionError;
-pub use metam_core::observer::{NoopObserver, RoundEvent, RunObserver};
+pub use metam_core::observer::{NoopObserver, QueryEvent, QueryKind, RoundEvent, RunObserver};
 pub use metam_core::prepared::Prepared;
 pub use report::RunReport;
 pub use source::{DataSource, LakeSource, ScenarioSource, SourceData, SourceRequest};
@@ -45,7 +46,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use metam_core::prepared::{assemble, AssembleOptions};
-use metam_core::{run_method, Metam, Method, Task};
+use metam_core::{run_method_with_observer, Metam, Method, Task};
 use metam_datagen::Scenario;
 use metam_discovery::path::PathConfig;
 use metam_lake::{parse_task, LakeCatalog, LakeError};
@@ -190,7 +191,7 @@ impl Session {
         self
     }
 
-    /// Stream per-round progress to this observer during
+    /// Stream per-query and per-round progress to this observer during
     /// [`run`](Session::run). Observation is passive: the result is
     /// identical to an unobserved run.
     pub fn observer(mut self, observer: impl RunObserver + 'static) -> Session {
@@ -290,10 +291,11 @@ impl Session {
     }
 
     /// Prepare, then run `method` under this session's θ, budget and seed,
-    /// streaming rounds to the configured observer (Metam only — baselines
-    /// have no round structure). The session seed replaces any seed
-    /// embedded in the `method` value, so every method draws from the same
-    /// reproducible stream. Returns the bundled [`RunReport`].
+    /// streaming queries (every method) and rounds (Metam — baselines have
+    /// no round structure) to the configured observer. The session seed
+    /// replaces any seed embedded in the `method` value, so every method
+    /// draws from the same reproducible stream. Returns the bundled
+    /// [`RunReport`].
     pub fn run(mut self, method: Method) -> Result<RunReport, SessionError> {
         self.validate()?;
         let theta = self.theta;
@@ -302,23 +304,27 @@ impl Session {
         let mut observer = self.observer.take();
 
         let prepare_start = Instant::now();
-        let prepared = self.prepare()?;
+        let prepared = {
+            let _span = metam_obs::span("session.prepare", method.name());
+            self.prepare()?
+        };
         let prepare_secs = prepare_start.elapsed().as_secs_f64();
 
         let search_start = Instant::now();
+        let search_span = metam_obs::span("session.search", method.name());
         let mut stop_reason = None;
         let mut n_clusters = None;
         let mut certification_ignored = None;
+        let mut noop = NoopObserver;
+        let obs: &mut dyn RunObserver = match observer.as_deref_mut() {
+            Some(o) => o,
+            None => &mut noop,
+        };
         let result = match method {
             Method::Metam(mut config) => {
                 config.theta = theta;
                 config.max_queries = budget;
                 config.seed = seed;
-                let mut noop = NoopObserver;
-                let obs: &mut dyn RunObserver = match observer.as_deref_mut() {
-                    Some(o) => o,
-                    None => &mut noop,
-                };
                 let r = Metam::new(config).run_with_observer(&prepared.inputs(), obs);
                 stop_reason = Some(r.stop_reason);
                 n_clusters = Some(r.n_clusters);
@@ -342,9 +348,10 @@ impl Session {
                     },
                     m => m,
                 };
-                run_method(&reseeded, &prepared.inputs(), theta, budget)
+                run_method_with_observer(&reseeded, &prepared.inputs(), theta, budget, obs)
             }
         };
+        drop(search_span);
         let search_secs = search_start.elapsed().as_secs_f64();
 
         let selected_names = result
@@ -370,6 +377,10 @@ impl Session {
             trace: result.trace,
             prepare_secs,
             search_secs,
+            metrics: {
+                let snap = metam_obs::metrics_snapshot();
+                (!snap.is_empty()).then_some(snap)
+            },
         })
     }
 }

@@ -3,6 +3,7 @@
 use metam_core::trace::TracePoint;
 use metam_core::StopReason;
 use metam_discovery::CandidateId;
+use metam_obs::MetricsSnapshot;
 
 /// Everything one discovery run produced: the solution, budget accounting,
 /// wall-clock timings and the utility-vs-queries trace. Serializes to JSON
@@ -47,6 +48,9 @@ pub struct RunReport {
     pub prepare_secs: f64,
     /// Wall-clock seconds spent searching.
     pub search_secs: f64,
+    /// Telemetry snapshot at report time (span timings, engine counters,
+    /// cache stats) — `None` when the process recorded no metrics.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -129,6 +133,11 @@ impl serde::Serialize for RunReport {
         serde::Serialize::serialize(&self.prepare_secs, out);
         out.push_str(",\"search_secs\":");
         serde::Serialize::serialize(&self.search_secs, out);
+        out.push_str(",\"metrics\":");
+        match &self.metrics {
+            Some(m) => out.push_str(&m.to_json()),
+            None => out.push_str("null"),
+        }
         out.push_str(",\"trace\":[");
         for (i, p) in self.trace.iter().enumerate() {
             if i > 0 {
@@ -174,6 +183,7 @@ mod tests {
             ],
             prepare_secs: 0.25,
             search_secs: 0.5,
+            metrics: None,
         }
     }
 
@@ -191,6 +201,18 @@ mod tests {
         // Must survive the shim's pretty-printer (i.e. be parseable JSON
         // as far as the shim's tokenizer is concerned).
         assert!(serde_json::to_string_pretty(&report()).is_ok());
+    }
+
+    #[test]
+    fn metrics_section_encodes_snapshot_or_null() {
+        let r = report();
+        assert!(r.to_json().contains("\"metrics\":null"));
+        metam_obs::counter_add("report.test.counter", 3);
+        let mut with = report();
+        with.metrics = Some(metam_obs::metrics_snapshot());
+        let json = with.to_json();
+        assert!(json.contains("\"metrics\":{"));
+        assert!(json.contains("\"report.test.counter\":3"));
     }
 
     #[test]

@@ -164,6 +164,11 @@ impl DataSource for LakeSource {
             vec![]
         };
         let tables = metam_lake::prepare::repository_tables(catalog, &din, Some(&excluded))?;
+        // Surface the .mtc-vs-CSV load split in the metrics registry (one
+        // flush per prepare; the atomics count everything loaded above).
+        let counters = catalog.load_counters();
+        metam_obs::counter_add("lake.load.mtc_hits", counters.hits() as u64);
+        metam_obs::counter_add("lake.load.csv_fallbacks", counters.misses() as u64);
         Ok(SourceData {
             din,
             tables,

@@ -1,0 +1,249 @@
+//! End-to-end telemetry guarantees: observation is **passive** (a run with
+//! a full observer and a live trace sink is bit-identical to a bare run),
+//! the per-query event stream is internally consistent, and every emitted
+//! JSONL trace line obeys the schema `metam trace-validate` enforces.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use metam::core::trace::TracePoint;
+use metam::discovery::CandidateId;
+use metam::obs;
+use metam::obs::json::{parse, Value};
+use metam::{
+    run_method, run_method_with_observer, MetamConfig, Method, QueryEvent, QueryKind, RoundEvent,
+    RunObserver, Session, StopReason,
+};
+use metam_datagen::causal_scenario::{build_causal, CausalConfig, CausalKind};
+
+/// The trace sink is process-global; tests that install one take this lock
+/// so parallel test threads never see each other's lines.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+/// An in-memory `Write` sink the test keeps a handle on.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap_or_else(PoisonError::into_inner)).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Owned copy of one [`QueryEvent`].
+#[derive(Debug, Clone)]
+struct OwnedQuery {
+    query: usize,
+    kind: QueryKind,
+    set: Vec<CandidateId>,
+    best_utility: f64,
+    queries_remaining: usize,
+}
+
+/// An observer that implements **every** callback and keeps everything.
+#[derive(Debug, Default)]
+struct FullRecorder {
+    start: Option<(usize, usize)>,
+    events: Vec<OwnedQuery>,
+    rounds: Vec<(usize, usize)>,
+    finish: Option<StopReason>,
+}
+
+impl RunObserver for FullRecorder {
+    fn on_search_start(&mut self, n_candidates: usize, n_clusters: usize) {
+        self.start = Some((n_candidates, n_clusters));
+    }
+
+    fn on_query(&mut self, event: &QueryEvent<'_>) {
+        self.events.push(OwnedQuery {
+            query: event.query,
+            kind: event.kind,
+            set: event.set.to_vec(),
+            best_utility: event.best_utility,
+            queries_remaining: event.queries_remaining,
+        });
+    }
+
+    fn on_round(&mut self, event: &RoundEvent<'_>) {
+        self.rounds.push((event.round, event.queries));
+    }
+
+    fn on_finish(&mut self, stop_reason: StopReason) {
+        self.finish = Some(stop_reason);
+    }
+}
+
+fn howto_prepared() -> metam::Prepared {
+    let scenario = build_causal(&CausalConfig {
+        seed: 32,
+        kind: CausalKind::HowTo,
+        n_irrelevant_tables: 20,
+        n_erroneous_tables: 6,
+        n_confounder_tables: 8,
+        ..Default::default()
+    });
+    Session::from_scenario(scenario)
+        .seed(32)
+        .prepare()
+        .expect("prepare")
+}
+
+/// The passivity regression: Metam on the causal how-to fixture, run bare
+/// and then with a full observer plus a live JSONL sink, must produce a
+/// bit-identical solution, query count and trace.
+#[test]
+fn instrumented_run_is_bit_identical_to_bare_run() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    obs::disable();
+    let prepared = howto_prepared();
+    let method = Method::Metam(MetamConfig {
+        seed: 32,
+        ..Default::default()
+    });
+
+    // Bare: no observer, no sink — the engine runs untimed.
+    let bare = run_method(&method, &prepared.inputs(), Some(1.0), 250);
+
+    // Instrumented: every callback live AND a trace sink installed.
+    let buf = SharedBuf::default();
+    obs::install_writer(Box::new(buf.clone()));
+    let mut rec = FullRecorder::default();
+    let observed = run_method_with_observer(&method, &prepared.inputs(), Some(1.0), 250, &mut rec);
+    obs::flush();
+    obs::disable();
+
+    assert_eq!(bare.selected, observed.selected, "same solution");
+    assert_eq!(bare.utility, observed.utility, "bitwise-equal utility");
+    assert_eq!(bare.queries, observed.queries, "same budget spend");
+    assert_eq!(bare.trace, observed.trace, "identical trace");
+    // Regression pin: instrumentation must never change the spend on this
+    // fixture (seed 32, how-to). Update only for deliberate algorithm
+    // changes, never for observability ones.
+    assert_eq!(observed.queries, 30, "seed-32 how-to query-count pin");
+
+    // The observer saw the whole run, consistently with the result.
+    let (n_candidates, n_clusters) = rec.start.expect("on_search_start fired");
+    assert_eq!(n_candidates, prepared.candidates.len());
+    assert!(n_clusters > 0, "Metam clusters before searching");
+    assert_eq!(
+        rec.events.len(),
+        observed.queries,
+        "one event per counted query"
+    );
+    for (i, e) in rec.events.iter().enumerate() {
+        assert_eq!(e.query, i + 1, "query indices are 1-based and dense");
+        assert_eq!(e.queries_remaining, 250 - e.query);
+        assert!(e.set.windows(2).all(|w| w[0] < w[1]), "sets are ascending");
+    }
+    assert!(
+        rec.events
+            .windows(2)
+            .all(|w| w[0].best_utility <= w[1].best_utility),
+        "best utility is monotone"
+    );
+    let from_events: Vec<TracePoint> = rec
+        .events
+        .iter()
+        .map(|e| TracePoint {
+            queries: e.query,
+            utility: e.best_utility,
+        })
+        .collect();
+    assert_eq!(from_events, observed.trace, "events rebuild the trace");
+    let kinds: Vec<QueryKind> = rec.events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&QueryKind::Base), "base query observed");
+    assert!(
+        kinds.contains(&QueryKind::Sequential) || kinds.contains(&QueryKind::Group),
+        "main-loop queries observed"
+    );
+    assert!(!rec.rounds.is_empty(), "Metam reports rounds");
+    assert!(rec.finish.is_some(), "on_finish fired");
+
+    // The sink captured a validatable trace of the same run.
+    let text = buf.contents();
+    let (_, events) = obs::validate_trace(&text).expect("trace validates");
+    let query_lines = text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"query\""))
+        .count();
+    assert_eq!(query_lines, observed.queries, "one JSONL line per query");
+    assert!(events > query_lines, "start/finish events also emitted");
+}
+
+/// Every trace line the whole pipeline emits (session prepare, search,
+/// per-query events, finish) obeys the JSONL schema, and the CLI-facing
+/// counts line up with the run report.
+#[test]
+fn emitted_trace_obeys_schema_end_to_end() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    obs::disable();
+    obs::reset_metrics();
+    let buf = SharedBuf::default();
+    obs::install_writer(Box::new(buf.clone()));
+    let scenario = metam::datagen::repo::price_classification(5);
+    let report = Session::from_scenario(scenario)
+        .seed(5)
+        .budget(60)
+        .run(Method::Mw { seed: 5 })
+        .expect("scenario sessions are infallible");
+    obs::flush();
+    obs::disable();
+
+    let text = buf.contents();
+    let (spans, events) = obs::validate_trace(&text).expect("trace validates");
+    assert!(spans >= 4, "prepare stages + session spans, got {spans}");
+    assert!(events > 0);
+
+    let known_kinds = ["base", "sequential", "group", "probe", "minimality"];
+    let mut query_lines = 0usize;
+    let mut finish_lines = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = parse(line).expect("line parses");
+        match v.get("event").and_then(Value::as_str) {
+            Some("query") => {
+                query_lines += 1;
+                let kind = v.get("name").and_then(Value::as_str).expect("kind label");
+                assert!(known_kinds.contains(&kind), "unknown kind {kind}");
+                for field in ["query", "utility", "best_utility", "delta", "secs"] {
+                    assert!(
+                        v.get(field).and_then(Value::as_f64).is_some(),
+                        "query event missing {field}: {line}"
+                    );
+                }
+            }
+            Some("finish") => {
+                finish_lines += 1;
+                assert!(
+                    v.get("queries").and_then(Value::as_f64).is_some(),
+                    "finish carries the spend: {line}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        query_lines, report.queries,
+        "one query line per counted query"
+    );
+    assert_eq!(finish_lines, 1);
+
+    // The report carries the metrics snapshot the run accumulated.
+    let metrics = report.metrics.as_ref().expect("metrics recorded");
+    let json = metrics.to_json();
+    assert!(json.contains("engine.queries"), "{json}");
+    assert!(json.contains("span."), "span histograms recorded: {json}");
+}
