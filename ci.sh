@@ -9,6 +9,13 @@ cargo fmt --check
 echo "== cargo clippy (workspace) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== metam-analyze: workspace invariants (determinism / passivity / panic-freedom) =="
+cargo run -q -p metam-analyze -- --workspace
+
+echo "== metam-analyze: --json smoke (obs-validator schema check) =="
+cargo run -q -p metam-analyze -- --workspace --json > target/analyze-report.json
+cargo test -q -p metam-analyze --test json_schema
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q

@@ -1,0 +1,323 @@
+//! A minimal Rust source lexer for lint rules.
+//!
+//! Rules must never fire on tokens that appear inside comments, string
+//! literals, or char literals (`"unwrap()"` in a fixture string is not a
+//! panic site), and most rules exempt test code. This module reduces a
+//! source file to per-line views that make both properties cheap to
+//! enforce:
+//!
+//! * `code` — the source line with comment text and literal *contents*
+//!   blanked out (delimiters are kept so token adjacency survives),
+//! * `comments` — the comment bodies found on the line (pragmas and
+//!   `// ordering:` justifications live here),
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` module or
+//!   `#[test]` function body.
+//!
+//! The lexer understands line comments, nested block comments, string /
+//! raw-string / byte-string literals spanning lines, and distinguishes
+//! char literals from lifetimes with a short lookahead. It is a
+//! heuristic, not a full parser — good enough for this workspace's own
+//! source, and fixture-tested against the constructs the rules care
+//! about.
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Original text, used for excerpts in findings.
+    pub raw: String,
+    /// Code view: comment text and literal contents blanked.
+    pub code: String,
+    /// Comment bodies (without `//`/`/*` delimiters) on this line.
+    pub comments: Vec<String>,
+    /// True when the line is inside `#[cfg(test)]` / `#[test]` scope.
+    pub in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Inside a `"…"` string literal (may span lines).
+    Str,
+    /// Inside a raw string; payload is the number of `#` marks.
+    RawStr(usize),
+    /// Inside `/* … */`; payload is the nesting depth.
+    Block(usize),
+}
+
+/// Lex full source text into per-line views.
+pub fn lex(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw_line in text.split('\n') {
+        let raw: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comments = Vec::new();
+        let mut comment_buf = String::new();
+        let mut in_comment_here = matches!(state, State::Block(_));
+        let mut i = 0usize;
+        while i < raw.len() {
+            let c = raw[i];
+            match state {
+                State::Code => {
+                    if c == '/' && raw.get(i + 1) == Some(&'/') {
+                        // Line comment: capture the body and stop.
+                        comments.push(raw[i + 2..].iter().collect());
+                        break;
+                    } else if c == '/' && raw.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        in_comment_here = true;
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if let Some(hashes) = raw_string_open(&raw, i) {
+                        // r"…", r#"…"#, br"…" — keep the opener visible.
+                        for &ch in &raw[i..i + hashes.skip] {
+                            code.push(ch);
+                        }
+                        state = State::RawStr(hashes.marks);
+                        i += hashes.skip;
+                    } else if c == '\'' || (c == 'b' && raw.get(i + 1) == Some(&'\'')) {
+                        let start = if c == 'b' { i + 1 } else { i };
+                        match char_literal_len(&raw, start) {
+                            Some(len) => {
+                                // Blank the char literal contents.
+                                code.push('\'');
+                                code.push('\'');
+                                i = start + len;
+                            }
+                            None => {
+                                // A lifetime (or stray quote): keep it.
+                                code.push(c);
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(marks) => {
+                    if c == '"' && raw[i + 1..].iter().take_while(|&&h| h == '#').count() >= marks {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1 + marks;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Block(depth) => {
+                    if c == '*' && raw.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            comments.push(std::mem::take(&mut comment_buf));
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && raw.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment_buf.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if in_comment_here && matches!(state, State::Block(_)) && !comment_buf.is_empty() {
+            // Block comment continues past this line: flush what we saw.
+            comments.push(std::mem::take(&mut comment_buf));
+        }
+        out.push(Line {
+            raw: raw_line.to_string(),
+            code,
+            comments,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+struct RawOpen {
+    /// Characters to consume for the opener (`r##"` → 4).
+    skip: usize,
+    /// Number of `#` marks the closer must match.
+    marks: usize,
+}
+
+/// Detect a raw (byte) string opener at `i`; `r` must not continue an
+/// identifier (`for"` is not a raw string).
+fn raw_string_open(raw: &[char], i: usize) -> Option<RawOpen> {
+    let mut j = i;
+    if raw.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if raw.get(j) != Some(&'r') {
+        return None;
+    }
+    if i > 0 && (raw[i - 1].is_alphanumeric() || raw[i - 1] == '_') {
+        return None;
+    }
+    let mut k = j + 1;
+    let mut marks = 0usize;
+    while raw.get(k) == Some(&'#') {
+        marks += 1;
+        k += 1;
+    }
+    if raw.get(k) == Some(&'"') {
+        Some(RawOpen {
+            skip: k + 1 - i,
+            marks,
+        })
+    } else {
+        None
+    }
+}
+
+/// Length of a char literal starting at the `'` in position `i`, or
+/// `None` when the quote starts a lifetime. Escaped forms (`'\n'`,
+/// `'\u{1F600}'`) run to the next unescaped quote.
+fn char_literal_len(raw: &[char], i: usize) -> Option<usize> {
+    if raw.get(i) != Some(&'\'') {
+        return None;
+    }
+    match raw.get(i + 1) {
+        Some('\\') => {
+            let mut j = i + 2;
+            while j < raw.len() {
+                if raw[j] == '\'' {
+                    return Some(j + 1 - i);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if raw.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// Second pass: mark lines inside `#[cfg(test)]` / `#[test]` item bodies
+/// by tracking brace depth over the blanked code view.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_test = false;
+    for line in lines.iter_mut() {
+        let started_in_test = stack.iter().any(|&t| t);
+        let mut touched_test = started_in_test;
+        if line.code.contains("#[cfg(test)]")
+            || line.code.contains("#[cfg(all(test")
+            || line.code.contains("#[test]")
+        {
+            pending_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    stack.push(pending_test || stack.iter().any(|&t| t));
+                    pending_test = false;
+                    touched_test |= *stack.last().unwrap_or(&false);
+                }
+                '}' => {
+                    stack.pop();
+                }
+                ';' if pending_test && !line.code.contains('{') => {
+                    // `#[cfg(test)] use …;` — attribute consumed by a
+                    // braceless item, so it must not leak forward.
+                    pending_test = false;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = touched_test;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let lines = lex("let x = 1; // unwrap() here\n/* panic!() */ let y = 2;");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert_eq!(lines[0].comments.len(), 1);
+        assert!(lines[0].comments[0].contains("unwrap()"));
+        assert!(!lines[1].code.contains("panic"));
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = lex(r#"let s = "call .unwrap() now"; s.len();"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lines = lex("let s = r#\"panic!() \"quoted\" body\"#; done();");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("done()"));
+    }
+
+    #[test]
+    fn multiline_string_blanks_until_close() {
+        let lines = lex("let s = \"first\nsecond unwrap()\nthird\"; after();");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("after()"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let lines = lex("/* outer /* inner */ still comment */ code();");
+        assert!(lines[0].code.contains("code()"));
+        assert!(!lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lines = lex("fn f<'a>(x: &'a str) { m('{', '\\n'); }");
+        // Braces inside char literals are blanked; lifetimes survive.
+        assert_eq!(lines[0].code.matches('{').count(), 1);
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test, "region must close at the brace");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }";
+        let lines = lex(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn test_fn_outside_mod_is_marked() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}";
+        let lines = lex(src);
+        assert!(lines[2].in_test);
+    }
+}

@@ -1,0 +1,105 @@
+#![forbid(unsafe_code)]
+//! The `metam-analyze` CLI.
+//!
+//! ```text
+//! metam-analyze --workspace [--root DIR] [--json]
+//! metam-analyze --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. CI runs
+//! `cargo run -q -p metam-analyze -- --workspace` before tier-1 so an
+//! invariant violation fails the build with file:line findings.
+
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: metam-analyze --workspace [--root DIR] [--json]
+       metam-analyze --list-rules
+
+Lints the workspace's own Rust source for invariant violations
+(determinism, passivity, panic-freedom; see README \"Static analysis\").
+Suppress per line with `// metam-analyze: allow(<rule>): <reason>`.
+
+  --workspace    scan the enclosing cargo workspace (default when no
+                 other mode is given)
+  --root DIR     scan DIR instead of auto-detecting the workspace root
+  --json         print a machine-readable report object on stdout
+  --list-rules   print the rule catalog and exit";
+
+fn main() {
+    std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
+}
+
+fn run(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--list-rules" => {
+                for rule in metam_analyze::RULES {
+                    println!("{rule}");
+                }
+                return 0;
+            }
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("metam-analyze: cannot read cwd: {e}");
+                    return 2;
+                }
+            };
+            match metam_analyze::find_workspace_root(&cwd) {
+                Some(d) => d,
+                None => {
+                    eprintln!(
+                        "metam-analyze: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let report = match metam_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("metam-analyze: scan failed: {e}");
+            return 2;
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.clean() {
+        0
+    } else {
+        1
+    }
+}

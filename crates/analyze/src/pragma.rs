@@ -1,0 +1,113 @@
+//! Suppression pragmas.
+//!
+//! A finding is silenced per line with a comment of the form
+//!
+//! ```text
+//! // metam-analyze: allow(<rule-id>): <reason>
+//! ```
+//!
+//! placed either trailing on the offending line or on its own line
+//! directly above it. The reason is **mandatory** — a pragma without one
+//! (or naming an unknown rule) is itself reported under the
+//! `invalid-pragma` rule, so suppressions can never silently rot into
+//! unreviewed exemptions.
+
+/// A parsed, well-formed suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule id being allowed.
+    pub rule: String,
+    /// The written justification (never empty).
+    pub reason: String,
+}
+
+/// Why a pragma-shaped comment was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PragmaError {
+    /// `metam-analyze:` comment without a parsable `allow(<rule>)`.
+    Malformed,
+    /// `allow(<rule>)` present but no trailing reason text.
+    MissingReason(String),
+    /// The named rule id is not one the linter knows.
+    UnknownRule(String),
+}
+
+const PREFIX: &str = "metam-analyze:";
+const ALLOW: &str = "allow(";
+
+/// Parse a comment body. Returns `None` when the comment is not
+/// addressed to the linter at all.
+pub fn parse(comment: &str, known_rules: &[&str]) -> Option<Result<Pragma, PragmaError>> {
+    let trimmed = comment.trim();
+    let rest = trimmed.strip_prefix(PREFIX)?.trim_start();
+    let Some(after_allow) = rest.strip_prefix(ALLOW) else {
+        return Some(Err(PragmaError::Malformed));
+    };
+    let Some(close) = after_allow.find(')') else {
+        return Some(Err(PragmaError::Malformed));
+    };
+    let rule = after_allow[..close].trim().to_string();
+    if !known_rules.contains(&rule.as_str()) {
+        return Some(Err(PragmaError::UnknownRule(rule)));
+    }
+    let reason = after_allow[close + 1..]
+        .trim_start_matches([':', '-', '—', ' ', '\t'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Some(Err(PragmaError::MissingReason(rule)));
+    }
+    Some(Ok(Pragma { rule, reason }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["panic-in-lib", "raw-thread-spawn"];
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let p = parse(
+            " metam-analyze: allow(panic-in-lib): worker panic must propagate",
+            RULES,
+        );
+        let p = p.expect("addressed to linter").expect("well-formed");
+        assert_eq!(p.rule, "panic-in-lib");
+        assert_eq!(p.reason, "worker panic must propagate");
+    }
+
+    #[test]
+    fn unrelated_comment_is_ignored() {
+        assert!(parse(" just a note about unwrap()", RULES).is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let err = parse(" metam-analyze: allow(panic-in-lib)", RULES)
+            .expect("addressed to linter")
+            .expect_err("no reason given");
+        assert_eq!(err, PragmaError::MissingReason("panic-in-lib".into()));
+        // Punctuation with no text after it is still no reason.
+        let err = parse(" metam-analyze: allow(panic-in-lib):   ", RULES)
+            .expect("addressed")
+            .expect_err("blank reason");
+        assert_eq!(err, PragmaError::MissingReason("panic-in-lib".into()));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let err = parse(" metam-analyze: allow(no-such-rule): because", RULES)
+            .expect("addressed")
+            .expect_err("unknown rule");
+        assert_eq!(err, PragmaError::UnknownRule("no-such-rule".into()));
+    }
+
+    #[test]
+    fn malformed_allow_is_rejected() {
+        let err = parse(" metam-analyze: disallow(panic-in-lib): x", RULES)
+            .expect("addressed")
+            .expect_err("malformed");
+        assert_eq!(err, PragmaError::Malformed);
+    }
+}

@@ -1,0 +1,178 @@
+//! Findings and the machine-readable report.
+//!
+//! `--json` mirrors the `discover --json` wire conventions: one JSON
+//! object on stdout, hand-serialized (the linter is dependency-free),
+//! with stable lower-snake keys. The schema is pinned by a test that
+//! parses the output with the `metam-obs` JSON validator.
+
+use std::collections::BTreeMap;
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `panic-in-lib`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Human explanation of what the rule protects.
+    pub message: String,
+}
+
+/// One accepted suppression (kept in the report so every exemption in
+/// the workspace stays visible and reviewable).
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id being allowed.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the suppressed code.
+    pub line: usize,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// Full analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Accepted suppressions, in file/line order.
+    pub suppressions: Vec<Suppression>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of source lines scanned.
+    pub lines_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace passes.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Per-rule finding counts.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Render the human-readable report (one line per finding).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                f.file, f.line, f.rule, f.message, f.excerpt
+            ));
+        }
+        out.push_str(&format!(
+            "metam-analyze: {} finding(s), {} suppression(s), {} files, {} lines\n",
+            self.findings.len(),
+            self.suppressions.len(),
+            self.files_scanned,
+            self.lines_scanned,
+        ));
+        out
+    }
+
+    /// Render the `--json` report object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"tool\":\"metam-analyze\"");
+        out.push_str(&format!(",\"files_scanned\":{}", self.files_scanned));
+        out.push_str(&format!(",\"lines_scanned\":{}", self.lines_scanned));
+        out.push_str(&format!(",\"clean\":{}", self.clean()));
+        out.push_str(",\"counts\":{");
+        for (i, (rule, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, rule);
+            out.push_str(&format!(":{n}"));
+        }
+        out.push_str("},\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            write_string(&mut out, f.rule);
+            out.push_str(",\"file\":");
+            write_string(&mut out, &f.file);
+            out.push_str(&format!(",\"line\":{}", f.line));
+            out.push_str(",\"excerpt\":");
+            write_string(&mut out, &f.excerpt);
+            out.push_str(",\"message\":");
+            write_string(&mut out, &f.message);
+            out.push('}');
+        }
+        out.push_str("],\"suppressions\":[");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            write_string(&mut out, &s.rule);
+            out.push_str(",\"file\":");
+            write_string(&mut out, &s.file);
+            out.push_str(&format!(",\"line\":{}", s.line));
+            out.push_str(",\"reason\":");
+            write_string(&mut out, &s.reason);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append a JSON string literal (quoted, escaped). Same escaping rules
+/// as the `metam-obs` writer, duplicated so the linter stays
+/// dependency-free.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "panic-in-lib",
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                excerpt: "say \"hi\"\t".into(),
+                message: "m".into(),
+            }],
+            suppressions: Vec::new(),
+            files_scanned: 1,
+            lines_scanned: 10,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\\\"hi\\\"\\t"));
+        assert!(json.contains("\"counts\":{\"panic-in-lib\":1}"));
+        assert!(json.contains("\"clean\":false"));
+    }
+}

@@ -1,0 +1,63 @@
+//! `--json` wire-format check: the report must parse with the same JSON
+//! reader that validates `discover --json` output (metam-obs), and carry
+//! the fields CI's smoke step greps for.
+
+use metam_obs::json::Value;
+use std::path::Path;
+
+fn workspace_report_json() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    metam_analyze::analyze_workspace(&root)
+        .expect("workspace scan")
+        .render_json()
+}
+
+#[test]
+fn json_report_parses_with_the_obs_validator() {
+    let text = workspace_report_json();
+    let value = metam_obs::json::parse(&text).expect("report is well-formed JSON");
+    let get = |key: &str| {
+        value
+            .get(key)
+            .unwrap_or_else(|| panic!("missing key `{key}`"))
+    };
+
+    assert_eq!(get("tool"), &Value::Str("metam-analyze".into()));
+    assert!(matches!(get("files_scanned"), Value::Num(n) if *n > 0.0));
+    assert!(matches!(get("lines_scanned"), Value::Num(n) if *n > 0.0));
+    assert_eq!(get("clean"), &Value::Bool(true));
+    assert!(matches!(get("counts"), Value::Obj(_)));
+    assert!(matches!(get("findings"), Value::Arr(a) if a.is_empty()));
+
+    // Suppressions are structured records with file/line/rule/reason.
+    let sups = match get("suppressions") {
+        Value::Arr(a) => a,
+        other => panic!("suppressions must be an array, got {other:?}"),
+    };
+    assert!(!sups.is_empty());
+    for sup in sups {
+        for key in ["rule", "file", "reason"] {
+            assert!(
+                matches!(sup.get(key), Some(Value::Str(s)) if !s.is_empty()),
+                "suppression missing string field `{key}`"
+            );
+        }
+        assert!(matches!(sup.get("line"), Some(Value::Num(n)) if *n >= 1.0));
+    }
+}
+
+#[test]
+fn json_escaping_round_trips_finding_excerpts() {
+    // A finding whose excerpt contains quotes, backslashes and tabs must
+    // still produce parseable JSON.
+    let src = "pub fn f() {\n\tlet v = std::env::var(\"X\\\\PATH\").ok();\n}";
+    let report = metam_analyze::analyze_source("crates/core/src/weird.rs", src);
+    assert!(!report.clean());
+    let value = metam_obs::json::parse(&report.render_json()).expect("escaped JSON parses");
+    let rendered = format!("{value:?}");
+    assert!(rendered.contains("env-read-outside-config"));
+}

@@ -1,0 +1,77 @@
+//! The linter's own acceptance gate: the workspace must pass its own
+//! analysis, and every suppression in the tree must carry a reason.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_its_own_linter() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the workspace root")
+        .to_path_buf();
+    let report = metam_analyze::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.clean(),
+        "metam-analyze found violations in the workspace:\n{}",
+        report.render_text()
+    );
+    // The scan actually covered the tree (guards against a walker
+    // regression silently scanning nothing).
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned",
+        report.files_scanned
+    );
+    // Suppressions exist (the workspace documents its exemptions) and
+    // every one of them carries a non-empty written reason.
+    assert!(!report.suppressions.is_empty());
+    for s in &report.suppressions {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "suppression without reason at {}:{}",
+            s.file,
+            s.line
+        );
+        assert!(
+            metam_analyze::RULES.contains(&s.rule.as_str()),
+            "suppression names unknown rule {}",
+            s.rule
+        );
+    }
+}
+
+#[test]
+fn every_crate_root_forbids_unsafe() {
+    // Redundant with the workspace scan, but pins the satellite
+    // explicitly: root + the 11 library crates.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let mut roots = vec!["src/lib.rs".to_string()];
+    for krate in [
+        "table",
+        "discovery",
+        "ml",
+        "causal",
+        "profile",
+        "core",
+        "obs",
+        "datagen",
+        "tasks",
+        "bench",
+        "lake",
+        "analyze",
+    ] {
+        roots.push(format!("crates/{krate}/src/lib.rs"));
+    }
+    for rel in roots {
+        let text = std::fs::read_to_string(root.join(&rel)).expect("crate root readable");
+        assert!(
+            text.contains("#![forbid(unsafe_code)]"),
+            "{rel} lacks #![forbid(unsafe_code)]"
+        );
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness utilities for the per-figure experiment binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the

@@ -41,7 +41,7 @@ pub fn scaled_fixture(
             (0..rows).map(|i| Some(format!("k{i}"))).collect(),
         )],
     )
-    .expect("aligned");
+    .expect("aligned"); // metam-analyze: allow(panic-in-lib): fixture columns share the fixed row count
     let ext = Table::from_columns(
         "ext",
         vec![
@@ -55,7 +55,7 @@ pub fn scaled_fixture(
             ),
         ],
     )
-    .expect("aligned");
+    .expect("aligned"); // metam-analyze: allow(panic-in-lib): fixture columns share the fixed row count
     let tables = vec![Arc::new(ext)];
 
     let mut state = seed ^ 0xF16;
@@ -118,8 +118,8 @@ pub fn sanity_check(fixture: &Prepared) -> bool {
     let col = fixture
         .materializer
         .materialize(&fixture.din, &fixture.candidates[0])
-        .expect("materializes");
-    t.add_column((*col).clone()).expect("row counts match");
+        .expect("materializes"); // metam-analyze: allow(panic-in-lib): bench fixture plants candidate 0 as materializable
+    t.add_column((*col).clone()).expect("row counts match"); // metam-analyze: allow(panic-in-lib): materialized column matches din rows by construction
     fixture.task.utility(&t) > fixture.task.utility(&fixture.din)
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-causal
 //!
 //! Causal-inference substrate for the Metam reproduction, standing in for

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-core
 //!
 //! The paper's contribution: **goal-oriented data discovery**. Given an

@@ -11,7 +11,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use metam_causal::Dag;
-use metam_table::{Column, Table};
+use metam_table::Column;
 
 use crate::keyspace::{ids, permute_keys};
 use crate::scenario::{GroundTruth, Scenario, TaskSpec};
@@ -116,7 +116,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
 
     // Din holds the student id + the pivot attribute (+ one noise column).
     let noise_col: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect();
-    let mut din = Table::from_columns(
+    let mut din = crate::aligned_table(
         &cfg.name,
         vec![
             Column::from_strings(
@@ -129,8 +129,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
             ),
             Column::from_floats(Some("lunch_price".to_string()), noise_col),
         ],
-    )
-    .expect("din aligned");
+    );
     din.source = "nyc-open-data".to_string();
 
     let mut gt = GroundTruth::default();
@@ -145,7 +144,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
         let take = ((n as f64) * rng.gen_range(0.78..0.92)).round() as usize;
         order.truncate(take.max(1));
         let tname = format!("{attr}_records");
-        let t = Table::from_columns(
+        let t = crate::aligned_table(
             &tname,
             vec![
                 Column::from_strings(
@@ -157,8 +156,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
                     order.iter().map(|&i| Some(values[v][i])).collect(),
                 ),
             ],
-        )
-        .expect("aligned");
+        );
         let mut t = t;
         t.source = "nyc-open-data".to_string();
         tables.push(t);
@@ -180,7 +178,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
         order.shuffle(&mut rng);
         let col: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect();
         let tname = format!("survey_{t:03}");
-        let mut table = Table::from_columns(
+        let mut table = crate::aligned_table(
             &tname,
             vec![
                 Column::from_strings(
@@ -189,8 +187,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
                 ),
                 Column::from_floats(Some(format!("response_{t}")), col),
             ],
-        )
-        .expect("aligned");
+        );
         table.source = "kaggle".to_string();
         tables.push(table);
     }
@@ -204,7 +201,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
             .map(|&i| Some(0.85 * values[0][i] + 0.15 * rng.gen_range(-1.0..1.0)))
             .collect();
         let tname = format!("poll_{t:03}");
-        let mut table = Table::from_columns(
+        let mut table = crate::aligned_table(
             &tname,
             vec![
                 Column::from_strings(
@@ -213,8 +210,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
                 ),
                 Column::from_floats(Some(format!("sentiment_{t}")), col),
             ],
-        )
-        .expect("aligned");
+        );
         table.source = "kaggle".to_string();
         tables.push(table);
     }
@@ -224,7 +220,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
         let v = 1 + (t % (ATTRS.len() - 1));
         let tname = format!("{}_shadow{t}", ATTRS[v]);
         let permuted = permute_keys(&keys, &mut rng);
-        let mut table = Table::from_columns(
+        let mut table = crate::aligned_table(
             &tname,
             vec![
                 Column::from_strings(
@@ -236,8 +232,7 @@ pub fn build_causal(cfg: &CausalConfig) -> Scenario {
                     values[v].iter().map(|&x| Some(x)).collect(),
                 ),
             ],
-        )
-        .expect("aligned");
+        );
         table.source = "kaggle".to_string();
         tables.push(table);
         gt.erroneous_tables.push(tname);

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use metam_table::{Column, Table};
+use metam_table::Column;
 
 use crate::scenario::{GroundTruth, Scenario, TaskSpec};
 
@@ -63,7 +63,7 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
         .map(|&c| (center(c) + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0))
         .collect();
 
-    let mut din = Table::from_columns(
+    let mut din = crate::aligned_table(
         "raw_materials",
         vec![
             Column::from_strings(
@@ -75,8 +75,7 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
                 satiety.iter().map(|&v| Some(v)).collect(),
             ),
         ],
-    )
-    .expect("aligned");
+    );
     din.source = "health-blog".to_string();
 
     let mut tables = Vec::new();
@@ -85,7 +84,7 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
     // The useful ONI table.
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut rng);
-    let mut oni_table = Table::from_columns(
+    let mut oni_table = crate::aligned_table(
         "nutrient_intake",
         vec![
             Column::from_strings(
@@ -97,8 +96,7 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
                 order.iter().map(|&i| Some(oni[i])).collect(),
             ),
         ],
-    )
-    .expect("aligned");
+    );
     oni_table.source = "health-blog".to_string();
     tables.push(oni_table);
     gt.mark("nutrient_intake", "oni_score", 1.0);
@@ -107,7 +105,7 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
     for t in 0..cfg.n_irrelevant_tables {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let mut table = Table::from_columns(
+        let mut table = crate::aligned_table(
             format!("pantry_{t:02}"),
             vec![
                 Column::from_strings(
@@ -119,8 +117,7 @@ pub fn build_clustering(cfg: &ClusteringConfig) -> Scenario {
                     (0..n).map(|_| Some(rng.gen_range(0.0..1.0))).collect(),
                 ),
             ],
-        )
-        .expect("aligned");
+        );
         table.source = "kaggle".to_string();
         tables.push(table);
     }

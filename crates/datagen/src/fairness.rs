@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use metam_table::{Column, Table};
+use metam_table::Column;
 
 use crate::keyspace::ids;
 use crate::scenario::{GroundTruth, Scenario, TaskSpec};
@@ -60,10 +60,10 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
         .map(|i| 0.45 * sensitive[i] + 0.45 * merit[i] + 0.1 * unit(&mut rng))
         .collect();
     let mut sorted = income.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = sorted[n / 2];
 
-    let mut din = Table::from_columns(
+    let mut din = crate::aligned_table(
         "credit",
         vec![
             Column::from_strings(
@@ -92,8 +92,7 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
                     .collect(),
             ),
         ],
-    )
-    .expect("aligned");
+    );
     din.source = "kaggle".to_string();
 
     let mut tables = Vec::new();
@@ -102,7 +101,7 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
     let mut push_table = |name: String, col: String, values: Vec<f64>, rng: &mut StdRng| {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(rng);
-        let mut t = Table::from_columns(
+        let mut t = crate::aligned_table(
             &name,
             vec![
                 Column::from_strings(
@@ -111,8 +110,7 @@ pub fn build_fairness(cfg: &FairnessConfig) -> Scenario {
                 ),
                 Column::from_floats(Some(col), order.iter().map(|&i| Some(values[i])).collect()),
             ],
-        )
-        .expect("aligned");
+        );
         t.source = "kaggle".to_string();
         tables.push(t);
     };

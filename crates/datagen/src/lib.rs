@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-datagen
 //!
 //! Seeded synthetic data repositories with *planted ground truth*, standing
@@ -32,3 +33,17 @@ pub mod unions;
 
 pub use scenario::{GroundTruth, Scenario, TaskSpec};
 pub use supervised::{build_supervised, SupervisedConfig};
+
+/// Build a table from generator-constructed columns.
+///
+/// Every generator in this crate fills each column with exactly the
+/// scenario's row count, so misalignment is a bug in the generator, not
+/// a runtime condition — this is the single place that invariant is
+/// asserted.
+pub(crate) fn aligned_table(
+    name: impl Into<String>,
+    cols: Vec<metam_table::Column>,
+) -> metam_table::Table {
+    // metam-analyze: allow(panic-in-lib): generator invariant — every column is built with the scenario row count; misalignment is a generator bug, not input-dependent
+    metam_table::Table::from_columns(name, cols).expect("generator columns aligned")
+}

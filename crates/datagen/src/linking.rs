@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use metam_table::{Column, Table};
+use metam_table::Column;
 
 use crate::keyspace::{ids, CITY_NAMES, STATES};
 use crate::scenario::{GroundTruth, Scenario, TaskSpec};
@@ -55,7 +55,7 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
         truth.push(format!("{name}|{state}"));
     }
 
-    let mut din = Table::from_columns(
+    let mut din = crate::aligned_table(
         "cdc_city_stats",
         vec![
             Column::from_strings(
@@ -71,8 +71,7 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
                 (0..n).map(|_| Some(rng.gen_range(0.1..0.5))).collect(),
             ),
         ],
-    )
-    .expect("aligned");
+    );
     din.source = "cdc".to_string();
 
     let mut gt = GroundTruth::default();
@@ -83,7 +82,7 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
     // enumeration order.
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(&mut rng);
-    let mut state_table = Table::from_columns(
+    let mut state_table = crate::aligned_table(
         "city_states",
         vec![
             Column::from_strings(
@@ -95,8 +94,7 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
                 order.iter().map(|&i| Some(states[i].clone())).collect(),
             ),
         ],
-    )
-    .expect("aligned");
+    );
     state_table.source = "census".to_string();
     gt.mark("city_states", "state_abbrev", 1.0);
 
@@ -104,7 +102,7 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
     for t in 0..cfg.n_irrelevant_tables {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let mut table = Table::from_columns(
+        let mut table = crate::aligned_table(
             format!("city_misc_{t:03}"),
             vec![
                 Column::from_strings(
@@ -122,8 +120,7 @@ pub fn build_linking(cfg: &LinkingConfig) -> Scenario {
                         .collect(),
                 ),
             ],
-        )
-        .expect("aligned");
+        );
         table.source = "kaggle".to_string();
         tables.push(table);
     }

@@ -44,8 +44,7 @@ pub fn random_repository(seed: u64, n_tables: usize, source: &str) -> Vec<Table>
                 .collect();
             cols.push(Column::from_floats(name, vals));
         }
-        let mut table =
-            Table::from_columns(format!("{source}_table_{t:05}"), cols).expect("aligned");
+        let mut table = crate::aligned_table(format!("{source}_table_{t:05}"), cols);
         table.source = source.to_string();
         tables.push(table);
     }

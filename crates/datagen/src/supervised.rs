@@ -142,7 +142,7 @@ fn repo_table<R: Rng>(
             .collect();
         cols.push(Column::from_floats(Some(cname), data));
     }
-    let mut t = Table::from_columns(name, cols).expect("aligned columns");
+    let mut t = crate::aligned_table(name, cols);
     t.source = source.to_string();
     t
 }
@@ -164,7 +164,7 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
         })
         .collect();
     let mut sorted = y_cont.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = sorted[n / 2];
 
     // Din: key + two base features (one weakly informative, one junk) + target.
@@ -195,7 +195,7 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
         )
     };
     let din = {
-        let mut t = Table::from_columns(
+        let mut t = crate::aligned_table(
             &cfg.name,
             vec![
                 Column::from_strings(
@@ -206,8 +206,7 @@ pub fn build_supervised(cfg: &SupervisedConfig) -> Scenario {
                 Column::from_floats(Some("aux_metric".to_string()), base2),
                 target_col,
             ],
-        )
-        .expect("din columns aligned");
+        );
         t.source = "open-data".to_string();
         t
     };

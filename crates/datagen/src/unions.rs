@@ -78,7 +78,7 @@ fn rent_rows(
 
 fn rent_table(name: &str, n: usize, flip_prob: f64, rng: &mut StdRng) -> Table {
     let (sqft, rooms, dist, label) = rent_rows(n, flip_prob, rng);
-    let mut t = Table::from_columns(
+    let mut t = crate::aligned_table(
         name,
         vec![
             Column::from_floats(
@@ -98,8 +98,7 @@ fn rent_table(name: &str, n: usize, flip_prob: f64, rng: &mut StdRng) -> Table {
                 label.into_iter().map(Some).collect(),
             ),
         ],
-    )
-    .expect("aligned");
+    );
     t.source = "nyc-open-data".to_string();
     t
 }
@@ -120,7 +119,7 @@ pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
         Some("row_id".to_string()),
         keys.iter().cloned().map(Some).collect(),
     ))
-    .expect("row count matches");
+    .expect("row count matches"); // metam-analyze: allow(panic-in-lib): key column is built from din's own row count
 
     let n_candidates = cfg.n_good + cfg.n_bad;
     let mut marker_tables = Vec::with_capacity(n_candidates);
@@ -133,7 +132,7 @@ pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
         // Marker table: row_id → constant flag column. The flag column name
         // encodes the batch so the task can map marker → union table.
         let marker_col = format!("union_marker_{c}");
-        let mut marker = Table::from_columns(
+        let mut marker = crate::aligned_table(
             &name,
             vec![
                 Column::from_strings(
@@ -147,8 +146,7 @@ pub fn build_unions(cfg: &UnionsConfig) -> Scenario {
                         .collect(),
                 ),
             ],
-        )
-        .expect("aligned");
+        );
         marker.source = "nyc-open-data".to_string();
         marker_tables.push(marker);
 

@@ -44,7 +44,7 @@ pub fn generate_candidates(
     for (path, containment) in enumerate_paths(din, index, config) {
         let table_idx = path.last_table();
         let table = index.table(table_idx);
-        let used_key = path.hops.last().expect("non-empty path").key_column;
+        let used_key = path.last_hop().key_column;
         for (ci, _col) in table.columns().iter().enumerate() {
             if ci == used_key {
                 continue;

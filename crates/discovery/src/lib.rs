@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-discovery
 //!
 //! The data-discovery substrate: a join-path index standing in for Aurum

@@ -36,12 +36,17 @@ impl JoinPath {
         }
     }
 
+    /// The final hop of the chain. Both constructors (`single` and
+    /// `extended`) push a hop before a `JoinPath` exists, so the chain
+    /// is non-empty by construction.
+    pub fn last_hop(&self) -> &Hop {
+        // metam-analyze: allow(panic-in-lib): hops is non-empty by construction (see doc above); the one place the invariant is asserted
+        self.hops.last().expect("join path has at least one hop")
+    }
+
     /// Index of the final table in the chain.
     pub fn last_table(&self) -> usize {
-        self.hops
-            .last()
-            .expect("join path has at least one hop")
-            .table
+        self.last_hop().table
     }
 
     /// Chain length `t` (number of joined datasets).
@@ -125,7 +130,7 @@ fn extend_path(
 ) {
     let last = path.last_table();
     let table = index.table(last);
-    let used_key = path.hops.last().expect("non-empty").key_column;
+    let used_key = path.last_hop().key_column;
     for (ci, col) in table.columns().iter().enumerate() {
         if ci == used_key {
             continue;

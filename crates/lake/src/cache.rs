@@ -58,9 +58,11 @@ pub fn load(root: &Path, entry: &TableMeta) -> Option<Table> {
     if bytes.len() < header_len || &bytes[..4] != CACHE_MAGIC {
         return None;
     }
-    let size = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
-    let mtime_s = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    let mtime_ns = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    // The length guard above makes these slices exact-width, but a
+    // corrupt cache must degrade to a CSV fallback, never abort.
+    let size = u64::from_le_bytes(bytes.get(4..12)?.try_into().ok()?);
+    let mtime_s = u64::from_le_bytes(bytes.get(12..20)?.try_into().ok()?);
+    let mtime_ns = u32::from_le_bytes(bytes.get(20..24)?.try_into().ok()?);
     if (size, mtime_s, mtime_ns) != (entry.file_size, entry.mtime_s, entry.mtime_ns) {
         return None;
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-lake
 //!
 //! The on-disk data-lake layer: point goal-oriented discovery at a

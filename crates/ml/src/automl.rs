@@ -91,6 +91,7 @@ impl AutoMl {
         }
 
         let (validation_score, choice, model) =
+            // metam-analyze: allow(panic-in-lib): the grid unconditionally evaluates linear + forest models, so best is always Some
             best.expect("grid always evaluates at least one model");
         AutoMl {
             model,

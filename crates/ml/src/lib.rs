@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-ml
 //!
 //! A self-contained machine-learning substrate for the Metam reproduction.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-obs
 //!
 //! End-to-end telemetry for the Metam workspace: a lightweight,

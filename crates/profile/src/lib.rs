@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-profile
 //!
 //! Task-independent *data profiles* (paper Definition 7 and §II-C). A

@@ -158,6 +158,7 @@ impl ProfileSet {
                 });
             }
         })
+        // metam-analyze: allow(panic-in-lib): a worker panic is already a bug aborting profiling; re-raising preserves the panic payload
         .expect("profile worker panicked");
         out
     }

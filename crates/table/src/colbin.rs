@@ -135,16 +135,24 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Fixed-width read; `take` bounds-checks, so the conversion can
+    /// only fail on a truncated payload and degrades to a typed error.
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| TableError::ColBin("truncated payload".into()))
+    }
+
     fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     fn str(&mut self) -> Result<String> {
@@ -167,7 +175,10 @@ pub fn read_table(bytes: &[u8]) -> Result<Table> {
         return Err(TableError::ColBin("payload too short".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let stored = u64::from_le_bytes(
+        tail.try_into()
+            .map_err(|_| TableError::ColBin("truncated checksum".into()))?,
+    );
     if fnv1a(body) != stored {
         return Err(TableError::ColBin("checksum mismatch".into()));
     }
@@ -205,7 +216,7 @@ pub fn read_table(bytes: &[u8]) -> Result<Table> {
                 let mut data = Vec::with_capacity(nrows);
                 for &p in &present {
                     data.push(if p {
-                        Some(i64::from_le_bytes(cur.take(8)?.try_into().unwrap()))
+                        Some(i64::from_le_bytes(cur.arr()?))
                     } else {
                         None
                     });
@@ -216,7 +227,7 @@ pub fn read_table(bytes: &[u8]) -> Result<Table> {
                 let mut data = Vec::with_capacity(nrows);
                 for &p in &present {
                     data.push(if p {
-                        Some(f64::from_le_bytes(cur.take(8)?.try_into().unwrap()))
+                        Some(f64::from_le_bytes(cur.arr()?))
                     } else {
                         None
                     });

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-table
 //!
 //! A small in-memory columnar table engine used as the data substrate for the

@@ -119,10 +119,11 @@ fn kmeans_once(points: &[Vec<f64>], k: usize, seed: u64, iters: usize) -> Vec<us
             }
             idx
         };
-        centers.push(points[next].clone());
+        let center = points[next].clone();
         for (i, p) in points.iter().enumerate() {
-            d2[i] = d2[i].min(sq_dist(p, centers.last().expect("just pushed")));
+            d2[i] = d2[i].min(sq_dist(p, &center));
         }
+        centers.push(center);
     }
 
     let dims = points[0].len();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam-tasks
 //!
 //! Downstream task implementations (paper §II-B and §VI). Every task

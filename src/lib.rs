@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # metam
 //!
 //! A from-scratch Rust reproduction of **"Metam: Goal-Oriented Data
