@@ -23,12 +23,15 @@ cargo test -q
 echo "== ingestion bench (smoke: parallel scan + shard + .mtc cache asserts) =="
 cargo run --release -q -p metam-bench --bin ingestion -- --quick --out target/bench-smoke
 
+echo "== search bench (smoke: batched query execution determinism asserts) =="
+cargo run --release -q -p metam-bench --bin search -- --quick --out target/bench-smoke
+
 echo "== trace smoke: discover --trace emits a validatable JSONL trace =="
 TRACE_DIR=$(mktemp -d)
 trap 'rm -rf "$TRACE_DIR"' EXIT
 ./target/release/metam demo "$TRACE_DIR/lake" --seed 7 >/dev/null
 ./target/release/metam discover "$TRACE_DIR/lake" --din din \
-    --task classification:label --budget 60 --seed 7 \
+    --task classification:label --budget 60 --seed 7 --threads 2 \
     --trace "$TRACE_DIR/run.jsonl" >/dev/null
 ./target/release/metam trace-validate "$TRACE_DIR/run.jsonl"
 

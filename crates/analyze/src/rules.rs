@@ -25,10 +25,11 @@ pub const RULES: &[&str] = &[
 
 /// Crates whose outputs must be byte-identical run to run: iterating a
 /// hash container here risks order-dependent results.
-const OUTPUT_AFFECTING_CRATES: &[&str] = &["core", "lake", "discovery", "profile", "metam"];
+const OUTPUT_AFFECTING_CRATES: &[&str] = &["core", "lake", "discovery", "profile", "pool", "metam"];
 
-/// The one module allowed to own raw threads (the scan worker pool).
-const SANCTIONED_SPAWN_MODULES: &[&str] = &["crates/lake/src/catalog.rs"];
+/// The one module allowed to own raw threads (the shared worker pool
+/// scan and search both submit to).
+const SANCTIONED_SPAWN_MODULES: &[&str] = &["crates/pool/src/lib.rs"];
 
 /// Modules allowed to read process environment (configuration entry
 /// points; everything else must take config as arguments).
@@ -475,7 +476,7 @@ fn rule_timing_outside_guard(ctx: &FileContext, lines: &[Line], out: &mut Vec<Fi
 
 // --- raw-thread-spawn ---------------------------------------------------
 
-/// All parallelism goes through the sanctioned scan worker pool (scoped,
+/// All parallelism goes through the sanctioned worker pool (scoped,
 /// deterministic merge); raw `thread::spawn` handles escape join
 /// discipline and ruin determinism.
 fn rule_raw_thread_spawn(ctx: &FileContext, lines: &[Line], out: &mut Vec<Finding>) {
@@ -493,7 +494,7 @@ fn rule_raw_thread_spawn(ctx: &FileContext, lines: &[Line], out: &mut Vec<Findin
                 idx + 1,
                 line,
                 "raw thread spawn outside the sanctioned worker-pool module — \
-                 use the scoped pool in crates/lake/src/catalog.rs"
+                 submit work to metam-pool (crates/pool/src/lib.rs)"
                     .into(),
             ));
         }

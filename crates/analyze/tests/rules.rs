@@ -174,8 +174,13 @@ fn raw_thread_spawn_only_in_sanctioned_module() {
     let src = "let h = std::thread::spawn(move || work());";
     let report = analyze_source("crates/profile/src/profile.rs", src);
     assert_eq!(rules_fired(&report), vec!["raw-thread-spawn"]);
-    // The sanctioned worker-pool module is exempt.
-    assert!(analyze_source("crates/lake/src/catalog.rs", src).clean());
+    // The sanctioned worker-pool module is exempt (its path is a crate
+    // root, so the fixture needs the forbid attribute too).
+    let pool_src = format!("#![forbid(unsafe_code)]\n{src}");
+    assert!(analyze_source("crates/pool/src/lib.rs", &pool_src).clean());
+    // The scan catalog lost its exemption when the pool moved out of it.
+    let report = analyze_source("crates/lake/src/catalog.rs", src);
+    assert_eq!(rules_fired(&report), vec!["raw-thread-spawn"]);
     // Scoped crossbeam spawns are not raw spawns.
     let src = "scope.spawn(move |_| work());";
     assert!(analyze_source("crates/profile/src/profile.rs", src).clean());

@@ -296,6 +296,7 @@ pub fn inputs_with_task<'a>(prepared: &'a Prepared, task: &'a dyn metam::Task) -
         profile_names: &prepared.profile_names,
         materializer: &prepared.materializer,
         task,
+        threads: prepared.threads,
     }
 }
 

@@ -98,6 +98,7 @@ pub fn scaled_fixture(
         materializer: Materializer::new(tables),
         task: Box::new(task),
         relevance: None,
+        threads: 1,
     }
 }
 

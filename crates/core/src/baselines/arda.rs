@@ -156,6 +156,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let order = arda_ranking(&inputs, true, 0);
         assert_eq!(order.len(), candidates.len());
@@ -181,6 +182,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let order = arda_ranking(&inputs, false, 0);
         let mut sorted = order.clone();
@@ -204,6 +206,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let r = run_iarda(&inputs, Some(0.65), 100, false, 0);
         assert!(r.utility >= 0.65, "u={}", r.utility);

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use metam_discovery::CandidateId;
 
-use crate::engine::{QueryEngine, SearchInputs, StopSearch};
+use crate::engine::{QueryEngine, QueryPlan, SearchInputs, StopSearch};
 use crate::metam::StopReason;
 use crate::observer::{NoopObserver, QueryKind, RunObserver};
 use crate::runner::RunResult;
@@ -41,18 +41,32 @@ pub fn greedy_over_order_with_observer(
     let mut base_utility = 0.0;
 
     let outcome = (|| -> Result<(), StopSearch> {
-        engine.set_kind(QueryKind::Base);
         base_utility = engine.base_utility()?;
         utility = base_utility;
-        engine.set_kind(QueryKind::Sequential);
-        for &c in order {
+        // Scan a worker-pool window at a time: the window's extensions of
+        // the *current* solution prefetch concurrently, then commit in
+        // order. An acceptance changes the base, so the rest of the window
+        // is discarded and re-planned — identical decisions to the
+        // one-at-a-time loop, whatever the thread count.
+        let mut pos = 0;
+        'scan: while pos < order.len() {
             if theta.is_some_and(|t| utility >= t) {
                 break;
             }
-            let (raw, _, _) = engine.utility_extend(&selected, c, false)?;
-            if raw > utility {
-                selected.insert(c);
-                utility = raw;
+            let window_end = order.len().min(pos + engine.threads());
+            let plans: Vec<QueryPlan> = order[pos..window_end]
+                .iter()
+                .map(|&c| QueryPlan::extend(QueryKind::Sequential, &selected, c))
+                .collect();
+            engine.prefetch(&plans);
+            for plan in &plans {
+                let raw = engine.evaluate(plan)?;
+                pos += 1;
+                if raw > utility {
+                    selected = plan.set.clone();
+                    utility = raw;
+                    continue 'scan;
+                }
             }
         }
         Ok(())
@@ -111,6 +125,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let order: Vec<usize> = (0..candidates.len()).collect();
         let r = greedy_over_order(&inputs, &order, None, 1000, "test");
@@ -136,6 +151,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let order: Vec<usize> = (0..candidates.len()).collect();
         let r = greedy_over_order(&inputs, &order, Some(0.55), 1000, "test");

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use crate::engine::{QueryEngine, SearchInputs};
 use crate::metam::StopReason;
-use crate::observer::{NoopObserver, QueryKind, RunObserver};
+use crate::observer::{NoopObserver, RunObserver};
 use crate::runner::RunResult;
 
 /// Augment `Din` with *all* candidates and query once. Cheap in queries,
@@ -22,10 +22,8 @@ pub fn run_join_all_with_observer(
 ) -> RunResult {
     let mut engine = QueryEngine::with_observer(inputs, max_queries, observer);
     engine.notify_search_start(inputs.candidates.len(), 0);
-    engine.set_kind(QueryKind::Base);
     let base = engine.base_utility();
     let base_utility = base.unwrap_or(0.0);
-    engine.set_kind(QueryKind::Sequential);
     let all: BTreeSet<usize> = (0..inputs.candidates.len()).collect();
     let joined = engine.utility_of(&all);
     let utility = joined.unwrap_or(base_utility);
@@ -67,6 +65,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let r = run_join_all(&inputs, 10);
         assert_eq!(r.queries, 2);
@@ -89,6 +88,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let r = run_join_all(&inputs, 10);
         assert!(r.utility < 0.5 + 0.3, "harmful columns drag the blob down");

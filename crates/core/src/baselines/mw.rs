@@ -16,7 +16,7 @@ use rand::SeedableRng;
 
 use crate::baselines::common::stop_reason_of;
 use crate::engine::{QueryEngine, SearchInputs, StopSearch};
-use crate::observer::{NoopObserver, QueryKind, RunObserver};
+use crate::observer::{NoopObserver, RunObserver};
 use crate::runner::RunResult;
 
 /// Multiplicative update factor.
@@ -69,10 +69,8 @@ pub fn run_mw_with_observer(
     let mut base_utility = 0.0;
 
     let outcome = (|| -> Result<(), StopSearch> {
-        engine.set_kind(QueryKind::Base);
         base_utility = engine.base_utility()?;
         utility = base_utility;
-        engine.set_kind(QueryKind::Sequential);
         let mut remaining = n;
         while remaining > 0 {
             if theta.is_some_and(|t| utility >= t) {
@@ -165,6 +163,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let r = run_mw(&inputs, Some(0.65), 100, 1);
         assert!(r.selected.contains(&7), "selected={:?}", r.selected);
@@ -188,6 +187,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let r = run_mw(&inputs, Some(0.99), 1000, 2);
         assert_eq!(

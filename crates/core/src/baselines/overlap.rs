@@ -63,6 +63,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         // Budget of 1: only the top-overlap candidate gets queried, and it
         // must not be candidate 2.

@@ -55,6 +55,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let a = run_uniform(&inputs, None, 50, 3);
         let b = run_uniform(&inputs, None, 50, 3);

@@ -10,6 +10,18 @@
 //! [`QueryEvent`]) and — when a `metam-obs` trace sink is installed —
 //! emits a JSONL `query` event. Observation is passive (no RNG, no budget,
 //! no result impact) and costs one atomic load per query when off.
+//!
+//! # Plan → execute → merge
+//!
+//! Evaluation is phrased as explicit [`QueryPlan`]s (kind + candidate +
+//! set). A batch ([`QueryEngine::evaluate_batch`]) first *prefetches*:
+//! uncached plans run their task fit + materialization concurrently over
+//! the shared worker pool (`metam-pool`) into a side cache — workers touch
+//! no RNG, no budget, no observer. A single-threaded *merge* then commits
+//! results **in plan order**, so query accounting, memoization, the budget
+//! cutoff, [`TracePoint`]s, [`QueryEvent`]s and the JSONL trace are
+//! byte-identical to sequential execution ([`SearchInputs::threads`]` = 1`
+//! skips the pool entirely).
 
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
@@ -40,6 +52,49 @@ pub struct SearchInputs<'a> {
     pub materializer: &'a Materializer,
     /// The downstream task.
     pub task: &'a dyn Task,
+    /// Worker threads for batched query execution. `1` (the conventional
+    /// default) evaluates inline with no thread machinery; any value
+    /// never changes results — only wall-clock.
+    pub threads: usize,
+}
+
+/// One planned query: the mechanism issuing it, the candidate that
+/// motivated it (for telemetry), and the augmentation set to evaluate.
+///
+/// Kind and candidate ride on the plan — not on engine-global mutable
+/// state — so a batch that is partially memo-served still labels every
+/// [`QueryEvent`] with the mechanism that actually planned it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The mechanism issuing the query (pure telemetry).
+    pub kind: QueryKind,
+    /// The candidate whose evaluation this query is, when it is one
+    /// (pure telemetry; `None` for whole-set queries).
+    pub candidate: Option<CandidateId>,
+    /// The augmentation set to evaluate.
+    pub set: BTreeSet<CandidateId>,
+}
+
+impl QueryPlan {
+    /// A whole-set query (no single motivating candidate).
+    pub fn new(kind: QueryKind, set: BTreeSet<CandidateId>) -> QueryPlan {
+        QueryPlan {
+            kind,
+            candidate: None,
+            set,
+        }
+    }
+
+    /// The singleton extension `base ∪ {add}`, tagged with `add`.
+    pub fn extend(kind: QueryKind, base: &BTreeSet<CandidateId>, add: CandidateId) -> QueryPlan {
+        let mut set = base.clone();
+        set.insert(add);
+        QueryPlan {
+            kind,
+            candidate: Some(add),
+            set,
+        }
+    }
 }
 
 /// Raised when the query budget is exhausted; searches unwind and report
@@ -71,8 +126,11 @@ pub struct QueryEngine<'a> {
     certification_ignored: usize,
     cache_hits: usize,
     observer: Option<&'a mut dyn RunObserver>,
-    kind: QueryKind,
-    pending_candidate: Option<CandidateId>,
+    /// Speculatively executed, not-yet-committed results: set →
+    /// `(utility, duration_secs)`. Entries are pure functions of the set
+    /// (tasks are deterministic), so a stale entry can never be wrong —
+    /// mis-speculation only wastes worker wall-clock.
+    warm: HashMap<BTreeSet<CandidateId>, (f64, f64)>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -89,8 +147,7 @@ impl<'a> QueryEngine<'a> {
             certification_ignored: 0,
             cache_hits: 0,
             observer: None,
-            kind: QueryKind::Sequential,
-            pending_candidate: None,
+            warm: HashMap::new(),
         }
     }
 
@@ -118,10 +175,9 @@ impl<'a> QueryEngine<'a> {
         self.cache_hits
     }
 
-    /// Label subsequent queries with the mechanism that issues them
-    /// (pure telemetry; never affects evaluation).
-    pub fn set_kind(&mut self, kind: QueryKind) {
-        self.kind = kind;
+    /// Worker threads available for batched execution (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.inputs.threads.max(1)
     }
 
     /// `true` when per-query telemetry is live (an observer is attached or
@@ -205,10 +261,16 @@ impl<'a> QueryEngine<'a> {
     /// Materialize `Din` augmented with the given candidate set (sorted id
     /// order, so the table is unique per set).
     pub fn augmented_table(&self, set: &BTreeSet<CandidateId>) -> Table {
-        let mut table = self.inputs.din.clone();
+        Self::augmented_table_of(self.inputs, set)
+    }
+
+    /// [`augmented_table`](Self::augmented_table) as a free function of
+    /// the inputs, callable from pool workers.
+    fn augmented_table_of(inputs: &SearchInputs<'_>, set: &BTreeSet<CandidateId>) -> Table {
+        let mut table = inputs.din.clone();
         for &id in set {
-            let cand = &self.inputs.candidates[id];
-            if let Ok(col) = self.inputs.materializer.materialize(self.inputs.din, cand) {
+            let cand = &inputs.candidates[id];
+            if let Ok(col) = inputs.materializer.materialize(inputs.din, cand) {
                 // Column names are unique per candidate; errors (noisy
                 // candidates) contribute nothing.
                 let _ = table.add_column((*col).clone());
@@ -217,14 +279,65 @@ impl<'a> QueryEngine<'a> {
         table
     }
 
-    /// Utility of `Din ⊕ set`. Counts one query on a cache miss; returns
-    /// `Err(StopSearch)` when the budget is exhausted *before* evaluating.
-    pub fn utility_of(&mut self, set: &BTreeSet<CandidateId>) -> Result<f64, StopSearch> {
-        // The extend-candidate hint applies to exactly the next evaluation,
-        // memoized or not — a cache hit must still consume it so it cannot
-        // leak onto an unrelated later query.
-        let pending = self.pending_candidate.take();
-        if let Some(&u) = self.cache.get(set) {
+    /// The *execute* stage, pure per-set work safe to run on a worker:
+    /// materialize the augmented table and fit the task. No RNG, no
+    /// budget, no observer — returns `(utility, duration_secs)`.
+    fn execute_raw(
+        inputs: &SearchInputs<'_>,
+        set: &BTreeSet<CandidateId>,
+        timed: bool,
+    ) -> (f64, f64) {
+        let started = timed.then(Instant::now);
+        let table = Self::augmented_table_of(inputs, set);
+        let u = inputs.task.utility(&table).clamp(0.0, 1.0);
+        (u, started.map_or(0.0, |t| t.elapsed().as_secs_f64()))
+    }
+
+    /// Speculatively execute any plans not already memoized, fanning the
+    /// task fits out over the worker pool into the warm side cache. A
+    /// no-op with one worker (the sequential path evaluates inline).
+    ///
+    /// Prefetching never commits anything: queries, budget, trace and
+    /// events advance only in [`evaluate`](Self::evaluate), so a wrong
+    /// speculation costs wall-clock, never correctness.
+    pub fn prefetch(&mut self, plans: &[QueryPlan]) {
+        let threads = self.threads();
+        if threads <= 1 {
+            return;
+        }
+        let mut sets: Vec<&BTreeSet<CandidateId>> = Vec::new();
+        for plan in plans {
+            if self.cache.contains_key(&plan.set)
+                || self.warm.contains_key(&plan.set)
+                || sets.iter().any(|s| **s == plan.set)
+            {
+                continue;
+            }
+            sets.push(&plan.set);
+        }
+        // Plans past the budget cutoff can never commit; don't execute them.
+        let remaining = self.remaining();
+        if sets.len() > remaining {
+            sets.truncate(remaining);
+        }
+        if sets.is_empty() {
+            return;
+        }
+        let inputs = self.inputs;
+        let timed = self.observing();
+        let results = metam_pool::map(&sets, threads, |set| Self::execute_raw(inputs, set, timed));
+        for (set, result) in sets.into_iter().zip(results) {
+            self.warm.insert(set.clone(), result);
+        }
+    }
+
+    /// The *merge* stage: commit one plan's result — memo lookup, budget
+    /// cutoff, query accounting, trace and telemetry — on the calling
+    /// thread. Consumes a warm prefetched result when one exists,
+    /// otherwise evaluates inline; either way the committed state is
+    /// identical to a fully sequential run.
+    pub fn evaluate(&mut self, plan: &QueryPlan) -> Result<f64, StopSearch> {
+        if let Some(&u) = self.cache.get(&plan.set) {
             self.cache_hits += 1;
             return Ok(u);
         }
@@ -232,29 +345,29 @@ impl<'a> QueryEngine<'a> {
             return Err(StopSearch);
         }
         let observing = self.observing();
-        let started = observing.then(Instant::now);
-        let table = self.augmented_table(set);
-        let u = self.inputs.task.utility(&table).clamp(0.0, 1.0);
-        let duration_secs = started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let (u, duration_secs) = match self.warm.remove(&plan.set) {
+            Some(executed) => executed,
+            None => Self::execute_raw(self.inputs, &plan.set, observing),
+        };
         self.queries += 1;
-        self.cache.insert(set.clone(), u);
+        self.cache.insert(plan.set.clone(), u);
         let first = self.trace.is_empty();
         let prev_best = self.best_utility;
         if first || u > self.best_utility {
             self.best_utility = if first { u } else { self.best_utility.max(u) };
-            self.best_set = set.clone();
+            self.best_set = plan.set.clone();
         }
         self.trace.push(TracePoint {
             queries: self.queries,
             utility: self.best_utility,
         });
         if observing {
-            let set_vec: Vec<CandidateId> = set.iter().copied().collect();
+            let set_vec: Vec<CandidateId> = plan.set.iter().copied().collect();
             let event = QueryEvent {
                 query: self.queries,
-                kind: self.kind,
+                kind: plan.kind,
                 set: &set_vec,
-                candidate: pending,
+                candidate: plan.candidate,
                 utility: u,
                 best_utility: self.best_utility,
                 delta: if first { 0.0 } else { u - prev_best },
@@ -283,6 +396,34 @@ impl<'a> QueryEngine<'a> {
         Ok(u)
     }
 
+    /// Evaluate an ordered batch: prefetch all uncached plans over the
+    /// pool, then merge in plan order. Merging halts at the first budget
+    /// exhaustion — the remaining slots report `Err(StopSearch)` with no
+    /// state (not even a cache-hit counter) advanced past the cutoff,
+    /// exactly as a sequential `?`-chain would leave the engine.
+    pub fn evaluate_batch(&mut self, plans: &[QueryPlan]) -> Vec<Result<f64, StopSearch>> {
+        self.prefetch(plans);
+        let mut out = Vec::with_capacity(plans.len());
+        let mut stopped = false;
+        for plan in plans {
+            if stopped {
+                out.push(Err(StopSearch));
+                continue;
+            }
+            let result = self.evaluate(plan);
+            stopped = result.is_err();
+            out.push(result);
+        }
+        out
+    }
+
+    /// Utility of `Din ⊕ set` as a plain sequential-kind query. Counts one
+    /// query on a cache miss; returns `Err(StopSearch)` when the budget is
+    /// exhausted *before* evaluating.
+    pub fn utility_of(&mut self, set: &BTreeSet<CandidateId>) -> Result<f64, StopSearch> {
+        self.evaluate(&QueryPlan::new(QueryKind::Sequential, set.clone()))
+    }
+
     /// Utility of the singleton extension `base ∪ {add}`, with the
     /// monotonicity-certification wrapper (P3) applied when `certify`:
     /// the reported utility never drops below `u(base)` — a worsening
@@ -295,14 +436,11 @@ impl<'a> QueryEngine<'a> {
         add: CandidateId,
         certify: bool,
     ) -> Result<(f64, f64, bool), StopSearch> {
-        let mut set = base.clone();
-        set.insert(add);
-        self.pending_candidate = Some(add);
-        let raw = self.utility_of(&set)?;
+        let raw = self.evaluate(&QueryPlan::extend(QueryKind::Sequential, base, add))?;
         if !certify {
             return Ok((raw, raw, false));
         }
-        let base_u = self.utility_of(base)?;
+        let base_u = self.evaluate(&QueryPlan::new(QueryKind::Sequential, base.clone()))?;
         if raw < base_u {
             self.certification_ignored += 1;
             Ok((base_u, raw, true))
@@ -311,9 +449,9 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// Convenience: utility of the un-augmented `Din`.
+    /// Convenience: utility of the un-augmented `Din` (a base-kind query).
     pub fn base_utility(&mut self) -> Result<f64, StopSearch> {
-        self.utility_of(&BTreeSet::new())
+        self.evaluate(&QueryPlan::new(QueryKind::Base, BTreeSet::new()))
     }
 }
 
@@ -393,6 +531,7 @@ mod tests {
             profile_names: &pnames,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 100);
         let set: BTreeSet<usize> = [0].into();
@@ -420,6 +559,7 @@ mod tests {
             profile_names: &pnames,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 2);
         assert!(engine.utility_of(&[0].into()).is_ok());
@@ -446,6 +586,7 @@ mod tests {
             profile_names: &pnames,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 100);
         let base: BTreeSet<usize> = BTreeSet::new();
@@ -477,6 +618,7 @@ mod tests {
             profile_names: &pnames,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 100);
         for i in 0..candidates.len().min(6) {
@@ -506,6 +648,7 @@ mod tests {
             profile_names: &pnames,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let engine = QueryEngine::new(&inputs, 10);
         let t = engine.augmented_table(&[0, 1].into());

@@ -22,7 +22,7 @@ use rand::SeedableRng;
 
 use crate::bandit::ThompsonSampler;
 use crate::cluster::{cluster_partition, Clustering};
-use crate::engine::{QueryEngine, SearchInputs, StopSearch};
+use crate::engine::{QueryEngine, QueryPlan, SearchInputs, StopSearch};
 use crate::group::GroupState;
 use crate::minimal::identify_minimal;
 use crate::observer::{NoopObserver, QueryKind, RoundEvent, RunObserver};
@@ -199,7 +199,6 @@ impl Metam {
         // fall back to singleton clusters and drop utility propagation.
         let mut stop_reason: Option<StopReason> = None;
         if cfg.check_homogeneity && cfg.use_clustering && n > 0 {
-            engine.set_kind(QueryKind::Probe);
             match homogeneity_ok(&mut engine, &clustering, cfg.epsilon, &mut rng) {
                 Ok(true) => {}
                 Ok(false) => {
@@ -246,10 +245,11 @@ impl Metam {
         // Line 24: minimality check against θ (or the achieved utility when
         // no θ was given — keep what we reached, with fewer columns).
         if cfg.minimality && !final_set.is_empty() {
-            engine.set_kind(QueryKind::Minimality);
             let theta_eff = cfg.theta.unwrap_or(final_u).min(final_u);
             final_set = identify_minimal(&mut engine, &final_set, theta_eff);
-            if let Ok(u) = engine.utility_of(&final_set) {
+            if let Ok(u) =
+                engine.evaluate(&QueryPlan::new(QueryKind::Minimality, final_set.clone()))
+            {
                 final_u = u;
             }
         }
@@ -303,7 +303,6 @@ impl Search<'_, '_> {
 
     fn run_loop(&mut self, engine: &mut QueryEngine<'_>) -> Result<StopReason, StopSearch> {
         let n = self.inputs.candidates.len();
-        engine.set_kind(QueryKind::Base);
         if n == 0 {
             self.base_utility = engine.base_utility()?;
             self.u_d = self.base_utility;
@@ -311,7 +310,6 @@ impl Search<'_, '_> {
         }
         self.base_utility = engine.base_utility()?;
         self.u_d = self.base_utility;
-        engine.set_kind(QueryKind::Sequential);
         let tau = self.cfg.tau.unwrap_or_else(|| self.clustering.len()).max(1);
 
         for _round in 0..self.cfg.max_rounds {
@@ -383,8 +381,43 @@ impl Search<'_, '_> {
                 break;
             };
 
+            // Plan → execute: speculatively prefetch this iteration's
+            // queries over the worker pool before committing any of them.
+            // The sequential extension (and its certification companion)
+            // is certain; the group set depends on the sequential gain
+            // only through the binary Thompson update, so both branches
+            // are simulated on cloned sampler/RNG/group state — all RNG
+            // stays on this thread, and a wrong branch merely wastes a
+            // worker's wall-clock.
+            if engine.threads() > 1 {
+                let mut plans = vec![QueryPlan::extend(QueryKind::Sequential, &self.t_star, pmax)];
+                if self.cfg.monotonic_certification {
+                    plans.push(QueryPlan::new(QueryKind::Sequential, self.t_star.clone()));
+                }
+                let cluster = self.clustering.cluster_of(pmax);
+                let branches: &[bool] = if self.cfg.use_thompson {
+                    &[true, false]
+                } else {
+                    &[true]
+                };
+                for &gained in branches {
+                    let mut sampler = self.sampler.clone();
+                    if self.cfg.use_thompson {
+                        sampler.update(cluster, gained);
+                    }
+                    let mut group_state = self.group_state.clone();
+                    let mut rng = self.rng.clone();
+                    if let Some(group) = group_state.propose(self.clustering, &sampler, &mut rng) {
+                        plans.push(QueryPlan::new(
+                            QueryKind::Group,
+                            group.iter().copied().collect(),
+                        ));
+                    }
+                }
+                engine.prefetch(&plans);
+            }
+
             // Line 10: sequential query (with P3 certification).
-            engine.set_kind(QueryKind::Sequential);
             let (effective, raw, _ignored) =
                 engine.utility_extend(&self.t_star, pmax, self.cfg.monotonic_certification)?;
             let cluster = self.clustering.cluster_of(pmax);
@@ -412,8 +445,7 @@ impl Search<'_, '_> {
                     .propose(self.clustering, &self.sampler, &mut self.rng)
             {
                 let gset: BTreeSet<CandidateId> = group.iter().copied().collect();
-                engine.set_kind(QueryKind::Group);
-                let ug = engine.utility_of(&gset)?;
+                let ug = engine.evaluate(&QueryPlan::new(QueryKind::Group, gset.clone()))?;
                 if ug > self.u_group_best {
                     self.u_group_best = ug;
                     self.t_star_c = gset;
@@ -484,9 +516,16 @@ fn homogeneity_ok(
         let mut pool = members.clone();
         pool.shuffle(rng);
         pool.truncate(k.min(members.len()));
-        let mut utilities = Vec::with_capacity(pool.len());
-        for &m in &pool {
-            utilities.push(engine.utility_of(&[m].into())?);
+        // One batch per cluster — not one over all clusters — so an early
+        // inhomogeneity return consumes exactly as much RNG (and budget)
+        // as the sequential loop did.
+        let plans: Vec<QueryPlan> = pool
+            .iter()
+            .map(|&m| QueryPlan::new(QueryKind::Probe, [m].into()))
+            .collect();
+        let mut utilities = Vec::with_capacity(plans.len());
+        for result in engine.evaluate_batch(&plans) {
+            utilities.push(result?);
         }
         let mean = utilities.iter().sum::<f64>() / utilities.len() as f64;
         let close = utilities
@@ -526,6 +565,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task,
+            threads: 1,
         };
         Metam::new(config).run(&inputs)
     }

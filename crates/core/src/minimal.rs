@@ -9,13 +9,16 @@ use std::collections::BTreeSet;
 
 use metam_discovery::CandidateId;
 
-use crate::engine::{QueryEngine, StopSearch};
+use crate::engine::{QueryEngine, QueryPlan, StopSearch};
+use crate::observer::QueryKind;
 
 /// Reduce `solution` to a minimal set with utility ≥ `theta`.
 ///
 /// Scans in ascending id order and restarts after every removal, so the
-/// outcome is deterministic. If the budget runs out mid-check, the current
-/// (possibly non-minimal) set is returned.
+/// outcome is deterministic (removal probes are speculatively prefetched
+/// a worker-pool window at a time, but committed strictly in scan order).
+/// If the budget runs out mid-check, the current (possibly non-minimal)
+/// set is returned.
 pub fn identify_minimal(
     engine: &mut QueryEngine<'_>,
     solution: &BTreeSet<CandidateId>,
@@ -24,17 +27,31 @@ pub fn identify_minimal(
     let mut current = solution.clone();
     'outer: loop {
         let ids: Vec<CandidateId> = current.iter().copied().collect();
-        for id in ids {
-            let mut without = current.clone();
-            without.remove(&id);
-            match engine.utility_of(&without) {
-                Ok(u) if u >= theta => {
-                    current = without;
-                    continue 'outer;
+        let mut idx = 0;
+        while idx < ids.len() {
+            // A successful removal restarts the scan and discards the rest
+            // of the window — wrong speculation only wastes wall-clock.
+            let window_end = ids.len().min(idx + engine.threads());
+            let plans: Vec<QueryPlan> = ids[idx..window_end]
+                .iter()
+                .map(|id| {
+                    let mut without = current.clone();
+                    without.remove(id);
+                    QueryPlan::new(QueryKind::Minimality, without)
+                })
+                .collect();
+            engine.prefetch(&plans);
+            for plan in &plans {
+                match engine.evaluate(plan) {
+                    Ok(u) if u >= theta => {
+                        current = plan.set.clone();
+                        continue 'outer;
+                    }
+                    Ok(_) => {}
+                    Err(StopSearch) => return current,
                 }
-                Ok(_) => {}
-                Err(StopSearch) => return current,
             }
+            idx = window_end;
         }
         return current;
     }
@@ -66,6 +83,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 1000);
         let solution: BTreeSet<usize> = [0, 1, 2].into();
@@ -91,6 +109,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 1000);
         let solution: BTreeSet<usize> = [0, 1, 2, 3].into();
@@ -121,6 +140,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, 0);
         let solution: BTreeSet<usize> = [0, 1].into();

@@ -64,6 +64,9 @@ pub struct Prepared {
     /// truth (synthetic scenarios) — used by Fig. 8's "queries to ground
     /// truth" metric. `None` for real lakes.
     pub relevance: Option<Vec<f64>>,
+    /// Worker threads for batched query execution (1 = sequential);
+    /// forwarded into [`SearchInputs::threads`]. Never changes results.
+    pub threads: usize,
 }
 
 impl std::fmt::Debug for Prepared {
@@ -90,6 +93,7 @@ impl Prepared {
             profile_names: &self.profile_names,
             materializer: &self.materializer,
             task: self.task.as_ref(),
+            threads: self.threads,
         }
     }
 }
@@ -140,6 +144,7 @@ pub fn assemble(
         materializer,
         task,
         relevance: None,
+        threads: 1,
     }
 }
 

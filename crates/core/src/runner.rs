@@ -150,6 +150,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let methods = [
             Method::Metam(MetamConfig::default()),
@@ -199,6 +200,7 @@ mod tests {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let metam = run_method(
             &Method::Metam(MetamConfig {

@@ -173,36 +173,11 @@ fn profile_one(root: &Path, job: &MissJob) -> Result<TableMeta> {
     })
 }
 
-/// Profile every queued file, fanning out across `threads` scoped
-/// workers. Each worker owns a contiguous chunk of the (file-name-sorted)
-/// job list and writes into the matching slots of the result vector, so
-/// the merged output is position-stable regardless of scheduling.
+/// Profile every queued file over the shared worker pool
+/// ([`metam_pool::try_map`]). Results come back in job (file-name) order,
+/// so the merged manifest is position-stable regardless of scheduling.
 fn profile_all(root: &Path, jobs: &[MissJob], threads: usize) -> Vec<Result<TableMeta>> {
-    let mut results: Vec<Option<Result<TableMeta>>> = (0..jobs.len()).map(|_| None).collect();
-    let threads = threads.min(jobs.len()).max(1);
-    if threads == 1 {
-        for (slot, job) in results.iter_mut().zip(jobs) {
-            *slot = Some(profile_one(root, job));
-        }
-    } else {
-        let chunk = jobs.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (result_chunk, job_chunk) in results.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (slot, job) in result_chunk.iter_mut().zip(job_chunk) {
-                        *slot = Some(profile_one(root, job));
-                    }
-                });
-            }
-        })
-        // metam-analyze: allow(panic-in-lib): a worker panic is already a bug aborting the scan; re-raising preserves the panic payload
-        .expect("scan worker panicked");
-    }
-    results
-        .into_iter()
-        // metam-analyze: allow(panic-in-lib): chunks exactly tile the job list, so every slot was written by one worker
-        .map(|r| r.expect("every job slot filled"))
-        .collect()
+    metam_pool::try_map(jobs, threads, |job| profile_one(root, job))
 }
 
 impl LakeCatalog {

@@ -23,8 +23,8 @@
 //!   profiles").
 //!
 //! Profiles are computed on a seeded row sample (the paper uses 100
-//! records) and evaluated in parallel across candidates with crossbeam
-//! scoped threads.
+//! records) and evaluated in parallel across candidates over the shared
+//! worker pool (`metam-pool`).
 
 #![warn(missing_docs)]
 

@@ -131,36 +131,20 @@ impl ProfileSet {
         seed: u64,
     ) -> Vec<ProfileVector> {
         let indices = sample_indices(din.nrows(), sample_size, seed);
-        let n = candidates.len();
-        let mut out: Vec<ProfileVector> = vec![Vec::new(); n];
-
         let n_threads = std::thread::available_parallelism()
             .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
-        let chunk = n.div_ceil(n_threads.max(1)).max(1);
-
-        crossbeam::thread::scope(|scope| {
-            for (slot, cands) in out.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-                let indices = &indices;
-                scope.spawn(move |_| {
-                    for (o, cand) in slot.iter_mut().zip(cands) {
-                        let aug: Option<Arc<Column>> = materializer.materialize(din, cand).ok();
-                        let ctx = ProfileContext {
-                            din,
-                            target_column,
-                            sample_indices: indices,
-                            candidate: cand,
-                            aug: aug.as_deref(),
-                        };
-                        *o = self.evaluate_one(&ctx);
-                    }
-                });
-            }
+            .unwrap_or(1);
+        metam_pool::map(candidates, n_threads, |cand| {
+            let aug: Option<Arc<Column>> = materializer.materialize(din, cand).ok();
+            let ctx = ProfileContext {
+                din,
+                target_column,
+                sample_indices: &indices,
+                candidate: cand,
+                aug: aug.as_deref(),
+            };
+            self.evaluate_one(&ctx)
         })
-        // metam-analyze: allow(panic-in-lib): a worker panic is already a bug aborting profiling; re-raising preserves the panic payload
-        .expect("profile worker panicked");
-        out
     }
 }
 

@@ -39,7 +39,7 @@ commands:
                               print cached per-column statistics
   discover <dir> --din NAME --task kind:arg
            [--theta T] [--budget N|unbounded] [--seed N]
-           [--max-candidates N] [--sample N] [--json]
+           [--max-candidates N] [--sample N] [--threads N] [--json]
            [--trace FILE|stderr]
                               run goal-oriented discovery over the lake
   trace-validate <file>       check a JSONL trace file against the schema
@@ -51,7 +51,10 @@ streams on stderr).
 `--trace` (or METAM_TRACE=<path|stderr>) writes one JSONL telemetry line
 per span/query/round/finish event; tracing never changes results.
 `scan` profiles changed files in parallel (worker count from
-METAM_SCAN_THREADS, default: available cores).";
+METAM_SCAN_THREADS, default: available cores).
+`discover --threads` (or METAM_SEARCH_THREADS) batches search queries
+over the same worker pool; results are byte-identical whatever the
+thread count (default 1).";
 
 type CliResult<T> = Result<T, Box<dyn std::error::Error>>;
 
@@ -349,6 +352,7 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         "seed",
         "max-candidates",
         "sample",
+        "threads",
         "json",
         "trace",
     ])?;
@@ -374,6 +378,17 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         _ => flags.get_num::<usize>("budget")?.unwrap_or(300),
     };
     let seed = flags.get_num::<u64>("seed")?.unwrap_or(0);
+    // Search worker count: explicit flag beats the environment; the
+    // default stays fully sequential. (Env reads live here in the CLI
+    // entry module only.)
+    let threads = match flags.get_num::<usize>("threads")? {
+        Some(n) => n,
+        None => std::env::var("METAM_SEARCH_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1),
+    }
+    .max(1);
     let json = flags.has("json");
 
     let catalog = LakeCatalog::scan(dir)?;
@@ -394,6 +409,7 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         .task_spec(task_spec)
         .seed(seed)
         .budget(budget)
+        .threads(threads)
         .observer(ProgressObserver);
     if let Some(t) = theta {
         session = session.theta(t);

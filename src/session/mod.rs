@@ -67,7 +67,8 @@ pub struct Session {
     path: PathConfig,
     max_candidates: usize,
     profile_sample: usize,
-    observer: Option<Box<dyn RunObserver>>,
+    threads: usize,
+    observer: Option<Box<dyn RunObserver + Send>>,
 }
 
 impl Session {
@@ -86,6 +87,7 @@ impl Session {
             path: PathConfig::default(),
             max_candidates: 100_000,
             profile_sample: 100,
+            threads: 1,
             observer: None,
         }
     }
@@ -191,10 +193,21 @@ impl Session {
         self
     }
 
+    /// Worker threads for batched query execution during the search
+    /// (default 1 = fully sequential). The thread count **never changes
+    /// results** — uncached task fits execute speculatively over the
+    /// shared worker pool and merge in plan order, so the report, trace
+    /// and event stream are byte-identical to a sequential run.
+    pub fn threads(mut self, threads: usize) -> Session {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Stream per-query and per-round progress to this observer during
     /// [`run`](Session::run). Observation is passive: the result is
-    /// identical to an unobserved run.
-    pub fn observer(mut self, observer: impl RunObserver + 'static) -> Session {
+    /// identical to an unobserved run. (`Send` so a whole `Session` can
+    /// move across threads, e.g. into a request-serving worker.)
+    pub fn observer(mut self, observer: impl RunObserver + Send + 'static) -> Session {
         self.observer = Some(Box::new(observer));
         self
     }
@@ -224,6 +237,7 @@ impl Session {
             path,
             max_candidates,
             profile_sample,
+            threads,
             ..
         } = self;
 
@@ -278,6 +292,7 @@ impl Session {
                 seed,
             },
         );
+        prepared.threads = threads;
         if let Some(gt) = &data.ground_truth {
             prepared.relevance = Some(
                 prepared
@@ -375,6 +390,7 @@ impl Session {
             n_clusters,
             certification_ignored,
             trace: result.trace,
+            threads: prepared.threads,
             prepare_secs,
             search_secs,
             metrics: {

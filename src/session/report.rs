@@ -43,6 +43,9 @@ pub struct RunReport {
     pub certification_ignored: Option<usize>,
     /// Best-utility-so-far trace.
     pub trace: Vec<TracePoint>,
+    /// Worker threads the search ran with (1 = sequential; the thread
+    /// count never changes results).
+    pub threads: usize,
     /// Wall-clock seconds spent preparing (scan, index, candidates,
     /// profiles).
     pub prepare_secs: f64,
@@ -129,6 +132,7 @@ impl serde::Serialize for RunReport {
             out.push('}');
         }
         out.push(']');
+        out.push_str(&format!(",\"threads\":{}", self.threads));
         out.push_str(",\"prepare_secs\":");
         serde::Serialize::serialize(&self.prepare_secs, out);
         out.push_str(",\"search_secs\":");
@@ -181,6 +185,7 @@ mod tests {
                     utility: 0.9,
                 },
             ],
+            threads: 1,
             prepare_secs: 0.25,
             search_secs: 0.5,
             metrics: None,
@@ -198,6 +203,7 @@ mod tests {
         assert!(json.contains("\"stop_reason\":\"theta reached (target utility met)\""));
         assert!(json.contains("\"selected\":[{\"id\":1,\"name\":\"a \\\"q\\\"\"}"));
         assert!(json.contains("\"trace\":[[1,0.5],[7,0.9]]"));
+        assert!(json.contains("\"threads\":1"));
         // Must survive the shim's pretty-printer (i.e. be parseable JSON
         // as far as the shim's tokenizer is concerned).
         assert!(serde_json::to_string_pretty(&report()).is_ok());

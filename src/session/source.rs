@@ -49,7 +49,11 @@ pub struct SourceData {
 
 /// A place discovery can run over. Implementations resolve an input
 /// dataset plus a repository of joinable tables on demand.
-pub trait DataSource {
+///
+/// `Send` so a whole [`Session`](super::Session) can move across threads
+/// (the stepping stone toward a long-lived `metam serve` daemon handing
+/// sessions to request workers).
+pub trait DataSource: Send {
     /// One-line description for errors and logs.
     fn describe(&self) -> String;
 

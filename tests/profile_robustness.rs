@@ -117,6 +117,7 @@ fn homogeneity_check_survives_lying_profiles() {
         profile_names: &names,
         materializer: &materializer,
         task: &task,
+        threads: 1,
     };
     let result = Metam::new(MetamConfig {
         theta: Some(0.75),

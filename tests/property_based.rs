@@ -94,6 +94,7 @@ proptest! {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let result = Metam::new(MetamConfig {
             max_queries: 200, seed, ..Default::default()
@@ -125,6 +126,7 @@ proptest! {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, usize::MAX);
         let full: BTreeSet<usize> = (0..candidates.len()).collect();
@@ -156,6 +158,7 @@ proptest! {
             profile_names: &names,
             materializer: &mat,
             task: &task,
+            threads: 1,
         };
         let mut engine = QueryEngine::new(&inputs, usize::MAX);
         let base: BTreeSet<usize> = BTreeSet::new();

@@ -172,17 +172,21 @@ fn unknown_table_is_typed() {
 #[test]
 fn run_reports_budget_and_streams_rounds() {
     let dir = tmp_lake("report");
-    let rounds: std::rc::Rc<std::cell::RefCell<Vec<(usize, usize)>>> = Default::default();
-    let sink = std::rc::Rc::clone(&rounds);
+    // Arc<Mutex>: session observers must be Send (sessions move across
+    // threads whole).
+    let rounds: std::sync::Arc<std::sync::Mutex<Vec<(usize, usize)>>> = Default::default();
+    let sink = std::sync::Arc::clone(&rounds);
     let report = Session::from_lake(&dir)
         .din("din")
         .task_spec("classification:label")
         .seed(3)
         .budget(40)
-        .observer(move |e: &RoundEvent<'_>| sink.borrow_mut().push((e.round, e.queries)))
+        .observer(move |e: &RoundEvent<'_>| {
+            sink.lock().expect("unpoisoned").push((e.round, e.queries));
+        })
         .run(Method::Metam(MetamConfig::default()))
         .expect("run");
-    let rounds = rounds.borrow();
+    let rounds = rounds.lock().expect("unpoisoned");
     assert_eq!(report.method, "Metam");
     assert_eq!(report.din_name, "din");
     assert_eq!(report.din_rows, 30);

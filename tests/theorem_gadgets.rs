@@ -80,6 +80,7 @@ fn theorem3_reaches_theta_on_set_cover() {
         profile_names: &names,
         materializer: &mat,
         task: &task,
+        threads: 1,
     };
     let result = Metam::new(MetamConfig {
         theta: Some(1.0),
@@ -128,6 +129,7 @@ fn greedy_matches_submodular_bound() {
         profile_names: &names,
         materializer: &mat,
         task: &task,
+        threads: 1,
     };
     let result = Metam::new(MetamConfig {
         max_queries: 2000,
@@ -163,6 +165,7 @@ fn np_hardness_gadget_utility_is_cover_fraction() {
         profile_names: &names,
         materializer: &mat,
         task: &task,
+        threads: 1,
     };
     let mut engine = QueryEngine::new(&inputs, 100);
     assert_eq!(engine.utility_of(&BTreeSet::new()).unwrap(), 0.0);
