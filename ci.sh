@@ -26,6 +26,9 @@ cargo run --release -q -p metam-bench --bin ingestion -- --quick --out target/be
 echo "== search bench (smoke: batched query execution determinism asserts) =="
 cargo run --release -q -p metam-bench --bin search -- --quick --out target/bench-smoke
 
+echo "== candidates bench (smoke: sketch-backed prepare parity + bounded-load asserts) =="
+cargo run --release -q -p metam-bench --bin candidates -- --quick --out target/bench-smoke
+
 echo "== trace smoke: discover --trace emits a validatable JSONL trace =="
 TRACE_DIR=$(mktemp -d)
 trap 'rm -rf "$TRACE_DIR"' EXIT

@@ -54,7 +54,7 @@ pub use cluster::{cluster_partition, Clustering};
 pub use engine::{QueryEngine, SearchInputs, StopSearch};
 pub use metam::{Metam, MetamConfig, MetamResult, StopReason};
 pub use observer::{NoopObserver, QueryEvent, QueryKind, RoundEvent, RunObserver};
-pub use prepared::{assemble, AssembleOptions, Prepared};
+pub use prepared::{assemble, AssembleOptions, Prepared, Repository};
 pub use runner::{run_method, run_method_with_observer, Method, RunResult};
 pub use task::Task;
 pub use trace::{utility_at, TracePoint};

@@ -10,12 +10,66 @@
 use std::sync::Arc;
 
 use metam_discovery::path::PathConfig;
-use metam_discovery::{generate_candidates, Candidate, DiscoveryIndex, Materializer};
+use metam_discovery::{
+    generate_candidates, Candidate, DiscoveryIndex, Materializer, TableDescriptor, TableProvider,
+};
 use metam_profile::ProfileSet;
 use metam_table::Table;
 
 use crate::engine::SearchInputs;
 use crate::task::Task;
+
+/// The repository a prepare run searches over, in either of its two
+/// equivalent forms: tables already in memory (the scenario path), or
+/// payload-free descriptors plus a deferred [`TableProvider`] (the
+/// sketch-backed catalog path, where table data loads lazily only when a
+/// candidate materializes). [`assemble`] accepts `impl Into<Repository>`,
+/// so existing `Vec<Arc<Table>>` call sites are unchanged.
+pub enum Repository {
+    /// Materialized repository tables, indexed in order.
+    Eager(Vec<Arc<Table>>),
+    /// Descriptors (typically from persisted catalog sketches) plus a
+    /// provider resolving the same indices to payloads on demand.
+    Deferred {
+        /// Payload-free per-table descriptors, in repository order.
+        descriptors: Vec<TableDescriptor>,
+        /// Lazy source of the corresponding table payloads.
+        provider: Box<dyn TableProvider>,
+    },
+}
+
+impl Repository {
+    /// Number of repository tables.
+    pub fn len(&self) -> usize {
+        match self {
+            Repository::Eager(tables) => tables.len(),
+            Repository::Deferred { descriptors, .. } => descriptors.len(),
+        }
+    }
+
+    /// `true` when the repository holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Repository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Repository::Eager(tables) => f.debug_tuple("Eager").field(&tables.len()).finish(),
+            Repository::Deferred { descriptors, .. } => f
+                .debug_struct("Deferred")
+                .field("descriptors", &descriptors.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl From<Vec<Arc<Table>>> for Repository {
+    fn from(tables: Vec<Arc<Table>>) -> Repository {
+        Repository::Eager(tables)
+    }
+}
 
 /// Assembly knobs shared by every data source.
 #[derive(Debug, Clone)]
@@ -102,18 +156,39 @@ impl Prepared {
 /// index the tables, enumerate candidates, evaluate profiles, bundle the
 /// task. This is the single assembly path behind `metam::session::Session`
 /// and the deprecated `prepare*` free functions.
+///
+/// The repository is either eager tables (a `Vec<Arc<Table>>` converts
+/// implicitly) or a [`Repository::Deferred`] descriptor set whose index is
+/// built without touching payloads — candidate generation is identical in
+/// both cases, only *when* table data loads differs.
 pub fn assemble(
     din: Table,
-    tables: Vec<Arc<Table>>,
+    repository: impl Into<Repository>,
     target_column: Option<usize>,
     task: Box<dyn Task>,
     profile_set: &ProfileSet,
     options: &AssembleOptions,
 ) -> Prepared {
-    let index = {
+    let repository = repository.into();
+    let (index, materializer) = {
         let mut span = metam_obs::span("prepare.index", &din.name);
-        span.field("tables", tables.len() as f64);
-        DiscoveryIndex::build(tables.clone())
+        span.field("tables", repository.len() as f64);
+        match repository {
+            Repository::Eager(tables) => (
+                DiscoveryIndex::build(tables.clone()),
+                Materializer::new(tables),
+            ),
+            Repository::Deferred {
+                descriptors,
+                provider,
+            } => {
+                span.field("deferred", 1.0);
+                (
+                    DiscoveryIndex::from_catalog(descriptors),
+                    Materializer::lazy(provider),
+                )
+            }
+        }
     };
     let candidates = {
         let mut span = metam_obs::span("prepare.candidates", &din.name);
@@ -121,7 +196,6 @@ pub fn assemble(
         span.field("candidates", candidates.len() as f64);
         candidates
     };
-    let materializer = Materializer::new(tables);
     let profiles = {
         let mut span = metam_obs::span("prepare.profiles", &din.name);
         span.field("candidates", candidates.len() as f64);

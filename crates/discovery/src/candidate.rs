@@ -43,9 +43,9 @@ pub fn generate_candidates(
     let mut out = Vec::new();
     for (path, containment) in enumerate_paths(din, index, config) {
         let table_idx = path.last_table();
-        let table = index.table(table_idx);
+        let table = index.descriptor(table_idx);
         let used_key = path.last_hop().key_column;
-        for (ci, _col) in table.columns().iter().enumerate() {
+        for ci in 0..table.columns.len() {
             if ci == used_key {
                 continue;
             }

@@ -1,4 +1,11 @@
 //! The discovery index: per-column sketches over a repository.
+//!
+//! The index is **metadata-only**: it holds per-table descriptors (name,
+//! provenance, column names, sketches) and never retains table payloads.
+//! That split is what lets a catalog-backed prepare build the index from
+//! persisted sketches ([`DiscoveryIndex::from_catalog`]) without touching
+//! raw data — candidate generation becomes set algebra over sketches, and
+//! payloads load lazily only when a candidate materializes.
 
 use std::sync::Arc;
 
@@ -26,54 +33,152 @@ pub struct ColumnEntry {
     pub keyish: bool,
 }
 
+/// Everything the index needs to know about one column, payload-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDescriptor {
+    /// Column name (`None` for anonymous columns).
+    pub name: Option<String>,
+    /// MinHash sketch of the column's normalized distinct values (carries
+    /// the exact distinct count as its cardinality).
+    pub sketch: MinHash,
+    /// Whether the column looks like a join key: ≥ 50 % of its non-null
+    /// values are distinct. Computed from counts, so a descriptor built
+    /// from a persisted sketch agrees exactly with one built in memory.
+    pub keyish: bool,
+}
+
+/// Everything the index needs to know about one table, payload-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDescriptor {
+    /// Table name.
+    pub name: String,
+    /// Provenance tag.
+    pub source: String,
+    /// Approximate in-memory size in bytes (Table I-style statistics).
+    pub approx_bytes: usize,
+    /// Per-column descriptors, in column order.
+    pub columns: Vec<ColumnDescriptor>,
+}
+
+impl TableDescriptor {
+    /// Describe a materialized table: sketch every column and flag join
+    /// keys. This is the in-memory profiling path; the lake layer persists
+    /// the same information at scan time and rebuilds descriptors from the
+    /// catalog without reloading payloads.
+    pub fn from_table(table: &Table) -> TableDescriptor {
+        let columns = table
+            .columns()
+            .iter()
+            .map(|col| {
+                let keys = col.distinct_keys();
+                let non_null = col.len() - col.null_count();
+                ColumnDescriptor {
+                    name: col.name.clone(),
+                    keyish: non_null > 0 && keys.len() * 2 >= non_null,
+                    sketch: MinHash::from_keys(&keys),
+                }
+            })
+            .collect();
+        TableDescriptor {
+            name: table.name.clone(),
+            source: table.source.clone(),
+            approx_bytes: table.approx_bytes(),
+            columns,
+        }
+    }
+
+    /// Display name of column `i` (anonymous columns render as `_colN`,
+    /// matching [`Table::column_display_name`]).
+    pub fn column_display_name(&self, i: usize) -> String {
+        self.columns
+            .get(i)
+            .and_then(|c| c.name.clone())
+            .unwrap_or_else(|| format!("_col{i}"))
+    }
+}
+
 /// An index over every column of a repository, the Aurum stand-in.
 ///
-/// Tables are held by `Arc` so the index, the materializer and the caller
-/// can share them without copying.
+/// Construction is payload-free: [`from_catalog`](Self::from_catalog)
+/// consumes descriptors (typically rebuilt from persisted sketches), and
+/// [`build`](Self::build) is the in-memory convenience that describes the
+/// tables first. Either way the resulting index is identical — candidate
+/// generation only ever sees descriptors.
 #[derive(Debug, Clone)]
 pub struct DiscoveryIndex {
-    tables: Vec<Arc<Table>>,
+    descriptors: Vec<TableDescriptor>,
     entries: Vec<ColumnEntry>,
+    /// `entry_offsets[t] + c` is the entry index of column `c` of table
+    /// `t` (entries are pushed one per column, in table-then-column order).
+    entry_offsets: Vec<usize>,
 }
 
 impl DiscoveryIndex {
-    /// Build an index over the repository. Every column is sketched; a
-    /// column is flagged `keyish` when ≥ 50 % of its non-null values are
-    /// distinct (a join on a low-cardinality column explodes and is skipped
-    /// during path enumeration).
+    /// Build an index over materialized repository tables. Every column is
+    /// sketched; a column is flagged `keyish` when ≥ 50 % of its non-null
+    /// values are distinct (a join on a low-cardinality column explodes
+    /// and is skipped during path enumeration). The table payloads are
+    /// **not** retained — this is [`from_catalog`](Self::from_catalog)
+    /// over freshly computed descriptors.
     pub fn build(tables: Vec<Arc<Table>>) -> DiscoveryIndex {
+        DiscoveryIndex::from_catalog(
+            tables
+                .iter()
+                .map(|t| TableDescriptor::from_table(t))
+                .collect(),
+        )
+    }
+
+    /// Sketch-only construction from per-table descriptors, e.g. read back
+    /// from a lake catalog's persisted sketch records. No table payload is
+    /// touched; the index produced is byte-identical to
+    /// [`build`](Self::build) over the same tables.
+    pub fn from_catalog(descriptors: Vec<TableDescriptor>) -> DiscoveryIndex {
         let mut entries = Vec::new();
-        for (ti, table) in tables.iter().enumerate() {
-            for (ci, col) in table.columns().iter().enumerate() {
-                let keys = col.distinct_keys();
-                let non_null = col.len() - col.null_count();
-                let keyish = non_null > 0 && keys.len() * 2 >= non_null;
+        let mut entry_offsets = Vec::with_capacity(descriptors.len());
+        for (ti, table) in descriptors.iter().enumerate() {
+            entry_offsets.push(entries.len());
+            for (ci, col) in table.columns.iter().enumerate() {
                 entries.push(ColumnEntry {
                     column: ColumnRef {
                         table: ti,
                         column: ci,
                     },
-                    sketch: MinHash::from_keys(&keys),
-                    keyish,
+                    sketch: col.sketch.clone(),
+                    keyish: col.keyish,
                 });
             }
         }
-        DiscoveryIndex { tables, entries }
+        DiscoveryIndex {
+            descriptors,
+            entries,
+            entry_offsets,
+        }
     }
 
-    /// The indexed tables.
-    pub fn tables(&self) -> &[Arc<Table>] {
-        &self.tables
+    /// Number of indexed tables.
+    pub fn n_tables(&self) -> usize {
+        self.descriptors.len()
     }
 
-    /// Table by index.
-    pub fn table(&self, idx: usize) -> &Arc<Table> {
-        &self.tables[idx]
+    /// The per-table descriptors, in repository order.
+    pub fn descriptors(&self) -> &[TableDescriptor] {
+        &self.descriptors
+    }
+
+    /// Descriptor of table `idx`.
+    pub fn descriptor(&self, idx: usize) -> &TableDescriptor {
+        &self.descriptors[idx]
     }
 
     /// All column entries.
     pub fn entries(&self) -> &[ColumnEntry] {
         &self.entries
+    }
+
+    /// The entry for column `column` of table `table`.
+    pub fn entry(&self, table: usize, column: usize) -> &ColumnEntry {
+        &self.entries[self.entry_offsets[table] + column]
     }
 
     /// Columns (from any table except `exclude_table`) that a probe column
@@ -95,20 +200,16 @@ impl DiscoveryIndex {
                 (c >= threshold).then_some((e.column, c))
             })
             .collect();
-        out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
     /// Repository statistics for Table I-style reporting.
     pub fn stats(&self) -> IndexStats {
-        let n_tables = self.tables.len();
+        let n_tables = self.descriptors.len();
         let n_columns = self.entries.len();
         let n_keyish = self.entries.iter().filter(|e| e.keyish).count();
-        let bytes = self.tables.iter().map(|t| t.approx_bytes()).sum();
+        let bytes = self.descriptors.iter().map(|t| t.approx_bytes).sum();
         IndexStats {
             n_tables,
             n_columns,
@@ -206,5 +307,39 @@ mod tests {
         // key-like; the binary `kind` column does not.
         assert_eq!(s.n_keyish, 2);
         assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn from_catalog_equals_build() {
+        let tables = repo();
+        let built = DiscoveryIndex::build(tables.clone());
+        let descriptors: Vec<TableDescriptor> = tables
+            .iter()
+            .map(|t| TableDescriptor::from_table(t))
+            .collect();
+        let from_cat = DiscoveryIndex::from_catalog(descriptors);
+        assert_eq!(from_cat.descriptors(), built.descriptors());
+        assert_eq!(from_cat.entries().len(), built.entries().len());
+        for (a, b) in from_cat.entries().iter().zip(built.entries()) {
+            assert_eq!(a.column, b.column);
+            assert_eq!(a.sketch, b.sketch);
+            assert_eq!(a.keyish, b.keyish);
+        }
+        assert_eq!(from_cat.stats(), built.stats());
+    }
+
+    #[test]
+    fn entry_lookup_matches_flat_order() {
+        let idx = DiscoveryIndex::build(repo());
+        assert_eq!(
+            idx.entry(1, 0).column,
+            ColumnRef {
+                table: 1,
+                column: 0
+            }
+        );
+        assert_eq!(idx.descriptor(0).name, "crime");
+        assert_eq!(idx.descriptor(0).column_display_name(1), "rate");
+        assert_eq!(idx.n_tables(), 2);
     }
 }

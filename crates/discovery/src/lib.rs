@@ -28,7 +28,7 @@ pub mod minhash;
 pub mod path;
 
 pub use candidate::{generate_candidates, Candidate, CandidateId};
-pub use index::{ColumnRef, DiscoveryIndex};
-pub use materialize::Materializer;
-pub use minhash::MinHash;
+pub use index::{ColumnDescriptor, ColumnRef, DiscoveryIndex, TableDescriptor};
+pub use materialize::{Materializer, TableProvider};
+pub use minhash::{MinHash, SKETCH_SLOTS};
 pub use path::{enumerate_paths, Hop, JoinPath};

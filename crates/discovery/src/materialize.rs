@@ -4,6 +4,12 @@
 //! projecting one column, keeping the result row-aligned with `Din`.
 //! Candidates are materialized many times across the search (profiles,
 //! repeated utility queries), so results are cached behind an `Arc`.
+//!
+//! The repository behind a materializer is a [`TableProvider`]: either the
+//! tables themselves (the in-memory path) or a deferred handle that loads
+//! a table from backing storage the first time a candidate needs it (the
+//! catalog-backed path — a discover run then touches only the tables that
+//! actually win candidacy).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -14,27 +20,97 @@ use parking_lot::RwLock;
 
 use crate::candidate::{Candidate, CandidateId};
 
+/// A source of repository table payloads, indexed like the
+/// [`crate::DiscoveryIndex`] that produced the candidates.
+///
+/// `Send + Sync` because profile evaluation materializes candidates from
+/// worker threads. Fetches may be called more than once per index —
+/// [`Materializer`] memoizes, so implementations need no cache of their
+/// own — but must return the same table every time.
+pub trait TableProvider: Send + Sync {
+    /// Number of repository tables.
+    fn len(&self) -> usize;
+
+    /// `true` when the repository holds no tables.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch table `idx`. Errors are surfaced as
+    /// [`TableError::Provider`] by the materializer.
+    fn fetch(&self, idx: usize) -> Result<Arc<Table>, String>;
+}
+
+/// The eager provider: tables already in memory.
+struct EagerTables(Vec<Arc<Table>>);
+
+impl TableProvider for EagerTables {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn fetch(&self, idx: usize) -> Result<Arc<Table>, String> {
+        self.0.get(idx).cloned().ok_or_else(|| {
+            format!(
+                "table index {idx} out of bounds for {} tables",
+                self.0.len()
+            )
+        })
+    }
+}
+
 /// Materializes candidates against a fixed repository, caching per
 /// candidate id. Cheap to clone is not needed; share by reference.
-#[derive(Debug)]
 pub struct Materializer {
-    tables: Vec<Arc<Table>>,
+    provider: Box<dyn TableProvider>,
+    /// Tables fetched so far (memoized so a lazy provider loads each
+    /// backing table at most once).
+    fetched: RwLock<HashMap<usize, Arc<Table>>>,
     cache: RwLock<HashMap<CandidateId, Arc<Column>>>,
 }
 
+impl std::fmt::Debug for Materializer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Materializer")
+            .field("tables", &self.provider.len())
+            .field("fetched", &self.fetched.read().len())
+            .field("cached_columns", &self.cache.read().len())
+            .finish()
+    }
+}
+
 impl Materializer {
-    /// New materializer over the repository tables (same order as the
-    /// [`crate::DiscoveryIndex`] that produced the candidates).
+    /// New materializer over in-memory repository tables (same order as
+    /// the [`crate::DiscoveryIndex`] that produced the candidates).
     pub fn new(tables: Vec<Arc<Table>>) -> Materializer {
+        Materializer::lazy(Box::new(EagerTables(tables)))
+    }
+
+    /// New materializer over a deferred [`TableProvider`] (same indexing
+    /// as the index that produced the candidates). Tables are fetched on
+    /// first use and memoized, so only candidate-bearing tables ever load.
+    pub fn lazy(provider: Box<dyn TableProvider>) -> Materializer {
         Materializer {
-            tables,
+            provider,
+            fetched: RwLock::new(HashMap::new()),
             cache: RwLock::new(HashMap::new()),
         }
     }
 
-    /// The repository tables.
-    pub fn tables(&self) -> &[Arc<Table>] {
-        &self.tables
+    /// Number of repository tables behind the provider.
+    pub fn n_tables(&self) -> usize {
+        self.provider.len()
+    }
+
+    /// Repository table by index, fetching through the provider on first
+    /// use (memoized; an eager materializer never really "loads").
+    pub fn table(&self, idx: usize) -> metam_table::Result<Arc<Table>> {
+        if let Some(t) = self.fetched.read().get(&idx) {
+            return Ok(Arc::clone(t));
+        }
+        let table = self.provider.fetch(idx).map_err(TableError::Provider)?;
+        self.fetched.write().insert(idx, Arc::clone(&table));
+        Ok(table)
     }
 
     /// Number of cached columns (diagnostics).
@@ -73,13 +149,7 @@ impl Materializer {
     ) -> metam_table::Result<Column> {
         // Row mapping from Din rows into the current table of the chain.
         let first = &candidate.path.hops[0];
-        let first_table =
-            self.tables
-                .get(first.table)
-                .ok_or(TableError::ColumnIndexOutOfBounds {
-                    index: first.table,
-                    len: self.tables.len(),
-                })?;
+        let first_table = self.table(first.table)?;
         let probe_keys = din.column(first.left_column)?.join_keys();
         let index = first_match_index(first_table.column(first.key_column)?);
         if index.is_empty() {
@@ -89,17 +159,11 @@ impl Materializer {
             .into_iter()
             .map(|k| k.and_then(|k| index.get(&k).copied()))
             .collect();
-        let mut current_table = Arc::clone(first_table);
+        let mut current_table = first_table;
 
         for hop in &candidate.path.hops[1..] {
             let bridge = current_table.column(hop.left_column)?;
-            let next_table =
-                self.tables
-                    .get(hop.table)
-                    .ok_or(TableError::ColumnIndexOutOfBounds {
-                        index: hop.table,
-                        len: self.tables.len(),
-                    })?;
+            let next_table = self.table(hop.table)?;
             let next_index = first_match_index(next_table.column(hop.key_column)?);
             if next_index.is_empty() {
                 return Err(TableError::EmptyJoinKey);
@@ -111,7 +175,7 @@ impl Materializer {
                         .and_then(|k| next_index.get(&k).copied())
                 })
                 .collect();
-            current_table = Arc::clone(next_table);
+            current_table = next_table;
         }
 
         let value_col = current_table.column(candidate.value_column)?;

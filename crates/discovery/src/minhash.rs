@@ -32,8 +32,24 @@ pub struct MinHash {
 }
 
 impl MinHash {
-    /// Sketch a set of (already deduplicated) normalized values.
+    /// Sketch a set of normalized values.
+    ///
+    /// **Contract:** `keys` must already be deduplicated (order is
+    /// irrelevant). `cardinality` is taken as `keys.len()` without
+    /// re-counting, so duplicated input silently inflates every
+    /// containment estimate derived from it. The one production call
+    /// chain feeds this from [`metam_table::Column::distinct_keys`],
+    /// which returns sorted, deduplicated keys; the debug assertion
+    /// below catches any new caller that breaks the contract.
     pub fn from_keys<S: AsRef<str>>(keys: &[S]) -> MinHash {
+        debug_assert!(
+            {
+                let mut sorted: Vec<&str> = keys.iter().map(AsRef::as_ref).collect();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "MinHash::from_keys requires deduplicated input (cardinality = keys.len())"
+        );
         let mut mins = [u64::MAX; SKETCH_SLOTS];
         for key in keys {
             let base = hash_str(key.as_ref());
@@ -48,6 +64,22 @@ impl MinHash {
             mins,
             cardinality: keys.len(),
         }
+    }
+
+    /// Reassemble a sketch from its parts (the persisted-sketch
+    /// deserialization path). `slots` must come from a prior
+    /// [`slots`](Self::slots) call — the pairing with `cardinality` is what
+    /// makes containment estimates exact round-trips.
+    pub fn from_parts(slots: [u64; SKETCH_SLOTS], cardinality: usize) -> MinHash {
+        MinHash {
+            mins: slots,
+            cardinality,
+        }
+    }
+
+    /// The raw per-slot minima (for serialization; `u64::MAX` = empty slot).
+    pub fn slots(&self) -> &[u64; SKETCH_SLOTS] {
+        &self.mins
     }
 
     /// Estimated Jaccard similarity with another sketch.
@@ -137,6 +169,21 @@ mod tests {
         assert_eq!(empty.jaccard(&full), 0.0);
         assert_eq!(empty.containment_in(&full), 0.0);
         assert_eq!(empty.jaccard(&empty), 1.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_bit_identically() {
+        let a = MinHash::from_keys(&keys(0..75));
+        let b = MinHash::from_parts(*a.slots(), a.cardinality);
+        assert_eq!(a, b);
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deduplicated")]
+    #[cfg(debug_assertions)]
+    fn duplicated_input_trips_the_debug_guard() {
+        let _ = MinHash::from_keys(&["a", "b", "a"]);
     }
 
     #[test]

@@ -121,6 +121,12 @@ pub fn enumerate_paths(
 }
 
 /// Add 2nd-hop extensions of `path`.
+///
+/// The bridge column of the joined table is probed with the sketch the
+/// index already holds for it — identical to re-sketching the column's
+/// distinct values (both derive from the same `distinct_keys`), but
+/// payload-free, so transitive enumeration works over a catalog-backed
+/// index without loading the bridge table.
 fn extend_path(
     path: &JoinPath,
     first_containment: f64,
@@ -129,20 +135,18 @@ fn extend_path(
     out: &mut Vec<(JoinPath, f64)>,
 ) {
     let last = path.last_table();
-    let table = index.table(last);
+    let ncols = index.descriptor(last).columns.len();
     let used_key = path.last_hop().key_column;
-    for (ci, col) in table.columns().iter().enumerate() {
+    for ci in 0..ncols {
         if ci == used_key {
             continue;
         }
-        let keys = col.distinct_keys();
-        let non_null = col.len() - col.null_count();
-        if non_null == 0 || keys.len() * 2 < non_null {
+        let entry = index.entry(last, ci);
+        if !entry.keyish {
             continue;
         }
-        let probe = MinHash::from_keys(&keys);
         for (target, _containment) in
-            index.joinable_columns(&probe, config.containment_threshold, Some(last))
+            index.joinable_columns(&entry.sketch, config.containment_threshold, Some(last))
         {
             if out.len() >= config.max_paths {
                 return;
@@ -162,7 +166,7 @@ fn extend_path(
 pub fn describe_path(din: &Table, path: &JoinPath, index: &DiscoveryIndex) -> String {
     let mut parts = vec![din.column_display_name(path.hops[0].left_column)];
     for hop in &path.hops {
-        let t = index.table(hop.table);
+        let t = index.descriptor(hop.table);
         parts.push(format!(
             "{}.{}",
             t.name,

@@ -17,21 +17,32 @@
 //!   columnar format ([`crate::cache`]); [`LakeCatalog::load_table`] and
 //!   [`load_all_except`](LakeCatalog::load_all_except) deserialize columns
 //!   directly instead of re-parsing CSV text.
+//! * `sketches/<file>.mks` — one discovery-sketch record per table
+//!   ([`crate::sketch`]): per-column MinHash + exact distinct count, null
+//!   count, dtype and value range.
+//!   [`sketch_descriptors`](LakeCatalog::sketch_descriptors) rebuilds a
+//!   payload-free [`TableDescriptor`] set from these, so candidate
+//!   generation never loads table data.
 //!
-//! Both layers invalidate on the same fingerprint (file size + mtime).
+//! All layers invalidate on the same fingerprint (file size + mtime); a
+//! manifest hit whose sketch record is missing or damaged is demoted to a
+//! miss so the record heals by re-profiling just that file.
 //! [`LakeCatalog::cache_hits`] counts profile reuse across scans;
-//! [`LakeCatalog::load_counters`] counts `.mtc` hits vs CSV fallbacks.
+//! [`LakeCatalog::load_counters`] counts `.mtc` hits vs CSV fallbacks;
+//! [`LakeCatalog::sketch_load_counters`] counts prepare-time sketch reads
+//! vs table-load fallbacks.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use metam_discovery::TableDescriptor;
 use metam_table::csv::read_csv;
 use metam_table::Table;
 
 use crate::stats::ColumnStats;
-use crate::{cache, manifest};
+use crate::{cache, manifest, sketch};
 use crate::{LakeError, Result};
 
 /// Catalog record of one lake table.
@@ -65,9 +76,11 @@ impl TableMeta {
 /// File size + mtime, the cache-invalidation key.
 pub type Fingerprint = (u64, u64, u32);
 
-/// Counters for table loads served from the `.mtc` cache vs re-parsed
-/// from CSV. Shared behind an [`Arc`] so callers (the CLI, benches) can
-/// keep observing after the catalog moves into a `Session`.
+/// A hit/miss counter pair shared behind an [`Arc`] so callers (the CLI,
+/// benches) can keep observing after the catalog moves into a `Session`.
+/// Used for `.mtc`-vs-CSV table loads ([`LakeCatalog::load_counters`])
+/// and for sketch-record reads vs table-load fallbacks
+/// ([`LakeCatalog::sketch_load_counters`]).
 #[derive(Debug, Default)]
 pub struct LoadCounters {
     hits: AtomicUsize,
@@ -75,14 +88,22 @@ pub struct LoadCounters {
 }
 
 impl LoadCounters {
-    /// Loads deserialized from the columnar cache.
+    /// Loads served from the fast path (columnar cache / sketch record).
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Loads that fell back to parsing the CSV source.
+    /// Loads that fell back to the slow path (CSV parse / table load).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn add_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -127,7 +148,10 @@ pub struct LakeCatalog {
     cache_hits: usize,
     cache_misses: usize,
     shards_written: usize,
+    sketch_hits: usize,
+    sketch_misses: usize,
     load_counters: Arc<LoadCounters>,
+    sketch_counters: Arc<LoadCounters>,
 }
 
 /// File metadata used for cache invalidation.
@@ -148,15 +172,28 @@ struct MissJob {
     file_name: String,
     path: PathBuf,
     fp: Fingerprint,
+    /// Whether the sketch record needs (re-)writing. `false` when only
+    /// the manifest shard was lost (e.g. corruption) but the sketch is
+    /// still fresh — profiling then leaves the valid record alone.
+    write_sketch: bool,
 }
 
 /// Profile one file: parse the CSV, compute per-column statistics, and
-/// persist the parsed table into the columnar cache (best-effort — a
-/// read-only `.metam` degrades loads to CSV, it must not fail the scan).
+/// persist the parsed table into the columnar cache plus (when stale) its
+/// discovery-sketch record (both best-effort — a read-only `.metam`
+/// degrades loads to CSV, it must not fail the scan).
 fn profile_one(root: &Path, job: &MissJob) -> Result<TableMeta> {
     let _span = metam_obs::span("scan.profile", &job.file_name);
     let table = read_table_file(&job.path)?;
     let _ = cache::store(root, &job.file_name, job.fp, &table);
+    if job.write_sketch {
+        let _ = sketch::store(
+            root,
+            &job.file_name,
+            job.fp,
+            &sketch::TableSketch::from_table(&table),
+        );
+    }
     Ok(TableMeta {
         name: table.name.clone(),
         file_name: job.file_name.clone(),
@@ -256,11 +293,19 @@ impl LakeCatalog {
         }
         let mut plan = Vec::with_capacity(files.len());
         let mut jobs: Vec<MissJob> = Vec::new();
+        let mut sketch_hits = 0usize;
         for (file_name, path) in files {
             let fp = fingerprint(&path)?;
+            // A manifest hit only counts when the sketch record is fresh
+            // too: a missing/stale/corrupt record demotes the file to a
+            // miss, so sketches heal by re-profiling exactly their file.
+            let sketch_fresh = sketch::is_fresh(&root, &file_name, fp);
+            if sketch_fresh {
+                sketch_hits += 1;
+            }
             match cached_by_file
                 .get(file_name.as_str())
-                .filter(|e| e.fingerprint() == fp)
+                .filter(|e| e.fingerprint() == fp && sketch_fresh)
             {
                 Some(&hit) => plan.push(Planned::Hit(hit.clone())),
                 None => {
@@ -269,10 +314,12 @@ impl LakeCatalog {
                         file_name,
                         path,
                         fp,
+                        write_sketch: !sketch_fresh,
                     });
                 }
             }
         }
+        let sketch_misses = plan.len() - sketch_hits;
 
         let cache_misses = jobs.len();
         let cache_hits = plan.len() - cache_misses;
@@ -296,9 +343,13 @@ impl LakeCatalog {
         metam_obs::counter_add("lake.scan.profile_hits", cache_hits as u64);
         metam_obs::counter_add("lake.scan.profile_misses", cache_misses as u64);
         metam_obs::counter_add("lake.scan.shards_written", shards_written as u64);
+        metam_obs::counter_add("lake.scan.sketch_hits", sketch_hits as u64);
+        metam_obs::counter_add("lake.scan.sketch_misses", sketch_misses as u64);
         scan_span.field("files", entries.len() as f64);
         scan_span.field("profile_hits", cache_hits as f64);
         scan_span.field("profile_misses", cache_misses as f64);
+        scan_span.field("sketch_hits", sketch_hits as f64);
+        scan_span.field("sketch_misses", sketch_misses as f64);
         let by_name = entries
             .iter()
             .enumerate()
@@ -311,7 +362,10 @@ impl LakeCatalog {
             cache_hits,
             cache_misses,
             shards_written,
+            sketch_hits,
+            sketch_misses,
             load_counters: Arc::new(LoadCounters::default()),
+            sketch_counters: Arc::new(LoadCounters::default()),
         })
     }
 
@@ -356,10 +410,28 @@ impl LakeCatalog {
         manifest::SHARD_COUNT
     }
 
+    /// Files whose sketch record was fresh at the last scan.
+    pub fn sketch_hits(&self) -> usize {
+        self.sketch_hits
+    }
+
+    /// Files whose sketch record the last scan had to (re-)write (new or
+    /// changed files, plus healed missing/stale/corrupt records).
+    pub fn sketch_misses(&self) -> usize {
+        self.sketch_misses
+    }
+
     /// The `.mtc`-vs-CSV load counters, shared: the returned handle keeps
     /// counting even after the catalog moves into a `Session`.
     pub fn load_counters(&self) -> Arc<LoadCounters> {
         Arc::clone(&self.load_counters)
+    }
+
+    /// Prepare-time sketch counters (records served vs table-load
+    /// fallbacks in [`sketch_descriptors`](Self::sketch_descriptors)),
+    /// shared like [`load_counters`](Self::load_counters).
+    pub fn sketch_load_counters(&self) -> Arc<LoadCounters> {
+        Arc::clone(&self.sketch_counters)
     }
 
     /// Catalog record by table name (O(1); the index is built at scan
@@ -408,6 +480,60 @@ impl LakeCatalog {
             tables.push(Arc::new(self.load_entry(entry)?));
         }
         Ok(tables)
+    }
+
+    /// Names of every table except those in `exclude`, in catalog
+    /// (file-name) order — the repository indexing shared by
+    /// [`sketch_descriptors`](Self::sketch_descriptors),
+    /// [`load_all_except`](Self::load_all_except) and the lazy table
+    /// provider built over this catalog.
+    pub fn repository_names(&self, exclude: &[&str]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !exclude.contains(&e.name.as_str()))
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Payload-free [`TableDescriptor`]s for every table except those in
+    /// `exclude`, served from persisted sketch records — the sublinear
+    /// half of a catalog-backed prepare: no `.mtc` or CSV payload is
+    /// touched for a fresh record. A missing or damaged record degrades
+    /// to loading just that table (counted on
+    /// [`sketch_load_counters`](Self::sketch_load_counters) as a miss)
+    /// and heals the record on the way. Descriptor order matches
+    /// [`repository_names`](Self::repository_names).
+    pub fn sketch_descriptors(&self, exclude: &[&str]) -> Result<Vec<TableDescriptor>> {
+        let mut span = metam_obs::span("prepare.sketch_index", self.root.display().to_string());
+        let mut out = Vec::new();
+        let mut record_hits = 0usize;
+        for entry in &self.entries {
+            if exclude.contains(&entry.name.as_str()) {
+                continue;
+            }
+            let loaded = match sketch::load(&self.root, entry) {
+                Some(record) => {
+                    record_hits += 1;
+                    self.sketch_counters.add_hit();
+                    record
+                }
+                None => {
+                    self.sketch_counters.add_miss();
+                    let table = self.load_entry(entry)?;
+                    let record = sketch::TableSketch::from_table(&table);
+                    let _ =
+                        sketch::store(&self.root, &entry.file_name, entry.fingerprint(), &record);
+                    record
+                }
+            };
+            out.push(loaded.to_descriptor());
+        }
+        let fallbacks = out.len() - record_hits;
+        span.field("sketch_hits", record_hits as f64);
+        span.field("sketch_fallbacks", fallbacks as f64);
+        metam_obs::counter_add("lake.sketch.hits", record_hits as u64);
+        metam_obs::counter_add("lake.sketch.fallbacks", fallbacks as u64);
+        Ok(out)
     }
 
     /// Total rows across the catalog (from cached metadata; no file reads).
@@ -651,6 +777,79 @@ mod tests {
         let t2 = cat.load_table("a").unwrap();
         assert_eq!(t2, t);
         assert_eq!(counters.hits(), 1, "healed cache serves the next load");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_maintains_sketch_records() {
+        let dir = tmp_dir("sketch-scan");
+        fs::write(dir.join("a.csv"), "zip,v\nz1,1\nz2,2\n").unwrap();
+        fs::write(dir.join("b.csv"), "zip,w\nz1,5\n").unwrap();
+
+        let cold = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(cold.sketch_hits(), 0);
+        assert_eq!(cold.sketch_misses(), 2, "cold scan writes every record");
+        assert!(sketch::sketch_path(&dir, "a.csv").exists());
+
+        let warm = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(warm.sketch_hits(), 2, "unchanged lake reuses records");
+        assert_eq!(warm.sketch_misses(), 0);
+
+        // Deleting one record demotes that file to a profile miss: the
+        // scan re-profiles exactly it and rewrites the record.
+        fs::remove_file(sketch::sketch_path(&dir, "b.csv")).unwrap();
+        let healed = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(healed.sketch_misses(), 1);
+        assert_eq!(
+            healed.cache_misses(),
+            1,
+            "missing sketch forces re-profiling"
+        );
+        assert_eq!(healed.cache_hits(), 1, "the intact file stays cached");
+        assert!(sketch::sketch_path(&dir, "b.csv").exists(), "record healed");
+
+        // Corrupting a record has the same effect as deleting it.
+        let path = sketch::sketch_path(&dir, "a.csv");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let reheal = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(reheal.sketch_misses(), 1, "corrupt record re-profiles");
+        let last = LakeCatalog::scan(&dir).unwrap();
+        assert_eq!(last.sketch_hits(), 2, "healed records hit again");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sketch_descriptors_match_in_memory_descriptors() {
+        let dir = tmp_dir("sketch-desc");
+        fs::write(dir.join("din.csv"), "k,y\na,1\nb,2\n").unwrap();
+        fs::write(dir.join("x.csv"), "k,v\na,2\nb,3\nc,4\n").unwrap();
+        fs::write(dir.join("y.csv"), "k,w\na,7\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        let counters = cat.sketch_load_counters();
+
+        let descriptors = cat.sketch_descriptors(&["din"]).unwrap();
+        assert_eq!(counters.hits(), 2, "fresh records serve every table");
+        assert_eq!(counters.misses(), 0);
+        assert_eq!(cat.repository_names(&["din"]), vec!["x", "y"]);
+
+        // Byte-identical to descriptors computed from the loaded tables.
+        let eager: Vec<TableDescriptor> = cat
+            .load_all_except(&["din"])
+            .unwrap()
+            .iter()
+            .map(|t| TableDescriptor::from_table(t))
+            .collect();
+        assert_eq!(descriptors, eager);
+
+        // A lost record degrades to loading that one table — and heals.
+        fs::remove_file(sketch::sketch_path(&dir, "x.csv")).unwrap();
+        let again = cat.sketch_descriptors(&["din"]).unwrap();
+        assert_eq!(again, eager, "fallback path produces the same result");
+        assert_eq!(counters.misses(), 1, "one record fell back to a load");
+        assert!(sketch::sketch_path(&dir, "x.csv").exists(), "record healed");
         let _ = fs::remove_dir_all(&dir);
     }
 

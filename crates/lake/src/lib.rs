@@ -13,9 +13,15 @@
 //!   columnar table cache ([`cache`]) under `<lake>/.metam/` so repeated
 //!   scans skip re-profiling — and repeated loads skip re-parsing — files
 //!   whose size and mtime are unchanged,
+//! * [`sketch`] — one versioned, checksummed discovery-sketch record per
+//!   table (`sketches/<file>.mks`): per-column MinHash + exact distinct
+//!   count, null count, dtype and value range, written at scan time so
+//!   candidate generation runs off the catalog without loading payloads,
 //! * [`prepare`] — [`parse_task`] (the single authority on CLI task
-//!   specs) and [`prepare::repository_tables`] (which catalog tables a
-//!   discovery run searches over),
+//!   specs), [`prepare::repository_tables`] (which catalog tables a
+//!   discovery run searches over) and its sketch-backed twin
+//!   [`prepare::repository_descriptors`] (payload-free descriptors plus a
+//!   lazy [`prepare::CatalogTableProvider`]),
 //! * [`export`] — write a `metam-datagen` scenario out *as* a CSV lake
 //!   (the `datagen → lake → rediscover` round trip is the subsystem's
 //!   self-validating integration test).
@@ -49,11 +55,13 @@ pub mod catalog;
 pub mod export;
 pub mod manifest;
 pub mod prepare;
+pub mod sketch;
 pub mod stats;
 
 pub use catalog::{LakeCatalog, LoadCounters, ScanOptions, TableMeta};
 pub use export::export_scenario;
-pub use prepare::{parse_task, ParsedTask, TaskKind};
+pub use prepare::{parse_task, CatalogTableProvider, ParsedTask, TaskKind};
+pub use sketch::TableSketch;
 pub use stats::ColumnStats;
 
 use std::fmt;

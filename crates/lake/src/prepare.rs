@@ -5,13 +5,22 @@
 //! task and the target, then assembles one `Prepared` bundle through
 //! `metam_core::prepared::assemble`. This module contributes the two
 //! lake-specific pieces: [`parse_task`], the single authority on CLI task
-//! specs, and [`repository_tables`], which decides what a prepare run
-//! searches over. (The deprecated `prepare_from_catalog*` wrappers that
-//! used to live here were removed after their one-release grace period.)
+//! specs, and [`repository_tables`] / [`repository_descriptors`], which
+//! decide what a prepare run searches over. (The deprecated
+//! `prepare_from_catalog*` wrappers that used to live here were removed
+//! after their one-release grace period.)
+//!
+//! [`repository_tables`] is the eager path: every repository table loads
+//! up front. [`repository_descriptors`] is the sketch-backed path: it
+//! returns payload-free descriptors (from persisted sketch records) plus
+//! a [`CatalogTableProvider`] that loads a table through the catalog only
+//! when the materializer first needs it — so a discover run touches the
+//! input dataset plus only candidate-winning tables.
 
 use std::sync::Arc;
 
 use metam_core::Task;
+use metam_discovery::{TableDescriptor, TableProvider};
 use metam_table::Table;
 use metam_tasks::classification::ClassificationTask;
 use metam_tasks::clustering::ClusteringFitTask;
@@ -35,6 +44,60 @@ pub fn repository_tables(
         None => vec![din.name.as_str()],
     };
     catalog.load_all_except(&excluded)
+}
+
+/// A deferred [`TableProvider`] over a [`LakeCatalog`]: table `idx` is the
+/// `idx`-th repository name, loaded through the catalog (columnar cache
+/// first, CSV fallback) only when the materializer first asks for it.
+#[derive(Debug)]
+pub struct CatalogTableProvider {
+    catalog: Arc<LakeCatalog>,
+    names: Vec<String>,
+}
+
+impl TableProvider for CatalogTableProvider {
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    fn fetch(&self, idx: usize) -> std::result::Result<Arc<Table>, String> {
+        let name = self.names.get(idx).ok_or_else(|| {
+            format!(
+                "table index {idx} out of bounds for {} tables",
+                self.names.len()
+            )
+        })?;
+        self.catalog
+            .load_table(name)
+            .map(Arc::new)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// The sketch-backed twin of [`repository_tables`]: resolve the same
+/// repository (same exclusion semantics, same order) as payload-free
+/// descriptors read from the catalog's persisted sketch records, plus a
+/// lazy [`CatalogTableProvider`] aligned index-for-index with them.
+/// Candidate generation over the descriptors is byte-identical to the
+/// eager path; table payloads load only at materialization time.
+pub fn repository_descriptors(
+    catalog: &Arc<LakeCatalog>,
+    din: &Table,
+    exclude_tables: Option<&[String]>,
+) -> Result<(Vec<TableDescriptor>, CatalogTableProvider)> {
+    let excluded: Vec<&str> = match exclude_tables {
+        Some(names) => names.iter().map(String::as_str).collect(),
+        None => vec![din.name.as_str()],
+    };
+    let descriptors = catalog.sketch_descriptors(&excluded)?;
+    let names = catalog.repository_names(&excluded);
+    Ok((
+        descriptors,
+        CatalogTableProvider {
+            catalog: Arc::clone(catalog),
+            names,
+        },
+    ))
 }
 
 /// A CLI-parsable task kind.

@@ -1,0 +1,524 @@
+//! Persisted per-column discovery sketches under `<lake>/.metam/sketches/`.
+//!
+//! Every profiled file gets one binary record, `<file name>.mks`, holding
+//! what candidate generation needs and nothing else: per column, the
+//! MinHash signature with its exact distinct count, the null count, a
+//! dtype tag and the numeric value range. `LakeCatalog::sketch_descriptors`
+//! rebuilds [`TableDescriptor`]s straight from these records, so a
+//! discover run constructs its [`metam_discovery::DiscoveryIndex`] without
+//! touching `.mtc` or CSV payloads — prepare cost scales with catalog
+//! metadata, not lake bytes.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "MSKS"                 version: u32 (= SKETCH_VERSION)
+//! fingerprint: size u64, mtime_s u64, mtime_ns u32
+//! name: u32 len + utf8         source: u32 len + utf8
+//! approx_bytes: u64            nrows: u64
+//! ncols: u32
+//! per column:
+//!   named: u8 (0|1) [+ name: u32 len + utf8]
+//!   dtype: u8 (0=int 1=float 2=str 3=bool)
+//!   null_count: u64            distinct: u64
+//!   min: u8 presence [+ f64 bits]   max: u8 presence [+ f64 bits]
+//!   sketch slots: SKETCH_SLOTS × u64
+//! fnv1a-64 checksum of everything above: u64
+//! ```
+//!
+//! Invalidation mirrors the manifest and the `.mtc` cache: the embedded
+//! fingerprint must match the file's current size + mtime. A version
+//! bump, a stale fingerprint, truncation or a checksum mismatch all read
+//! as "no record" — the scan then re-profiles just that file and rewrites
+//! its record, and a prepare-time miss degrades to loading that one table
+//! (healing the record on the way). Records never fail a scan: writes are
+//! best-effort, reads are `Option`.
+
+use std::path::{Path, PathBuf};
+
+use metam_discovery::{ColumnDescriptor, MinHash, TableDescriptor, SKETCH_SLOTS};
+use metam_table::{DataType, Table};
+
+use crate::catalog::Fingerprint;
+use crate::TableMeta;
+
+/// First four bytes of every sketch record.
+pub const SKETCH_MAGIC: &[u8; 4] = b"MSKS";
+
+/// Record-format version; bump on breaking layout changes. A version
+/// mismatch invalidates the record exactly like a stale fingerprint.
+pub const SKETCH_VERSION: u32 = 1;
+
+/// Directory holding `.mks` sketch records under a lake root.
+pub fn sketch_dir(root: &Path) -> PathBuf {
+    root.join(".metam").join("sketches")
+}
+
+/// Sketch-record path of one lake file.
+pub fn sketch_path(root: &Path, file_name: &str) -> PathBuf {
+    sketch_dir(root).join(format!("{file_name}.mks"))
+}
+
+/// The trailing-checksum function of the record format (FNV-1a 64),
+/// public so tools and tests can craft or re-seal records.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything persisted about one column: the coupled sketch/cardinality
+/// pair plus the cheap summary facts discovery may filter on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSketch {
+    /// Column name (`None` for anonymous columns).
+    pub name: Option<String>,
+    /// Inferred logical type.
+    pub dtype: DataType,
+    /// Number of rows with a missing value.
+    pub null_count: usize,
+    /// Minimum of the numeric view, when one exists.
+    pub min: Option<f64>,
+    /// Maximum of the numeric view.
+    pub max: Option<f64>,
+    /// MinHash signature over the column's normalized distinct values;
+    /// its `cardinality` is the exact distinct count.
+    pub sketch: MinHash,
+}
+
+/// One table's persisted sketch record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSketch {
+    /// Table name (the file stem).
+    pub name: String,
+    /// Provenance tag (the lake directory name).
+    pub source: String,
+    /// Approximate in-memory size in bytes of the materialized table.
+    pub approx_bytes: usize,
+    /// Row count.
+    pub nrows: usize,
+    /// Per-column sketches, in column order.
+    pub columns: Vec<ColumnSketch>,
+}
+
+impl TableSketch {
+    /// Sketch a materialized table (the profile-time computation).
+    pub fn from_table(table: &Table) -> TableSketch {
+        let columns = table
+            .columns()
+            .iter()
+            .map(|col| ColumnSketch {
+                name: col.name.clone(),
+                dtype: col.dtype(),
+                null_count: col.null_count(),
+                min: col.min(),
+                max: col.max(),
+                sketch: MinHash::from_keys(&col.distinct_keys()),
+            })
+            .collect();
+        TableSketch {
+            name: table.name.clone(),
+            source: table.source.clone(),
+            approx_bytes: table.approx_bytes(),
+            nrows: table.nrows(),
+            columns,
+        }
+    }
+
+    /// Rebuild the payload-free descriptor the discovery index consumes.
+    /// `keyish` is recomputed from the persisted counts with the same
+    /// formula `DiscoveryIndex::build` uses, so a catalog-backed index is
+    /// byte-identical to an in-memory one.
+    pub fn to_descriptor(&self) -> TableDescriptor {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let non_null = self.nrows.saturating_sub(c.null_count);
+                ColumnDescriptor {
+                    name: c.name.clone(),
+                    keyish: non_null > 0 && c.sketch.cardinality * 2 >= non_null,
+                    sketch: c.sketch.clone(),
+                }
+            })
+            .collect();
+        TableDescriptor {
+            name: self.name.clone(),
+            source: self.source.clone(),
+            approx_bytes: self.approx_bytes,
+            columns,
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn dtype_tag(dtype: DataType) -> u8 {
+    match dtype {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Option<DataType> {
+    match tag {
+        0 => Some(DataType::Int),
+        1 => Some(DataType::Float),
+        2 => Some(DataType::Str),
+        3 => Some(DataType::Bool),
+        _ => None,
+    }
+}
+
+/// Serialize a sketch record (with its invalidation fingerprint) to bytes.
+pub fn encode(fp: Fingerprint, sketch: &TableSketch) -> Vec<u8> {
+    let (size, mtime_s, mtime_ns) = fp;
+    let mut out = Vec::new();
+    out.extend_from_slice(SKETCH_MAGIC);
+    out.extend_from_slice(&SKETCH_VERSION.to_le_bytes());
+    out.extend_from_slice(&size.to_le_bytes());
+    out.extend_from_slice(&mtime_s.to_le_bytes());
+    out.extend_from_slice(&mtime_ns.to_le_bytes());
+    put_str(&mut out, &sketch.name);
+    put_str(&mut out, &sketch.source);
+    out.extend_from_slice(&(sketch.approx_bytes as u64).to_le_bytes());
+    out.extend_from_slice(&(sketch.nrows as u64).to_le_bytes());
+    out.extend_from_slice(&(sketch.columns.len() as u32).to_le_bytes());
+    for col in &sketch.columns {
+        match &col.name {
+            Some(name) => {
+                out.push(1);
+                put_str(&mut out, name);
+            }
+            None => out.push(0),
+        }
+        out.push(dtype_tag(col.dtype));
+        out.extend_from_slice(&(col.null_count as u64).to_le_bytes());
+        out.extend_from_slice(&(col.sketch.cardinality as u64).to_le_bytes());
+        put_opt_f64(&mut out, col.min);
+        put_opt_f64(&mut out, col.max);
+        for slot in col.sketch.slots() {
+            out.extend_from_slice(&slot.to_le_bytes());
+        }
+    }
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Bounds-checked little reader over a record body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len())?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn opt_f64(&mut self) -> Option<Option<f64>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(f64::from_bits(self.u64()?))),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialize a sketch record, verifying magic, version and checksum.
+/// `None` on any mismatch or damage — never an error (callers re-profile).
+pub fn decode(bytes: &[u8]) -> Option<(Fingerprint, TableSketch)> {
+    if bytes.len() < SKETCH_MAGIC.len() + 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if checksum(body) != stored {
+        return None;
+    }
+    let mut cur = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    if cur.take(4)? != SKETCH_MAGIC {
+        return None;
+    }
+    if cur.u32()? != SKETCH_VERSION {
+        return None;
+    }
+    let fp = (cur.u64()?, cur.u64()?, cur.u32()?);
+    let name = cur.str()?;
+    let source = cur.str()?;
+    let approx_bytes = cur.u64()? as usize;
+    let nrows = cur.u64()? as usize;
+    let ncols = cur.u32()? as usize;
+    // Every column costs at least SKETCH_SLOTS*8 bytes of slots alone; a
+    // count exceeding the remaining payload is corrupt — reject before
+    // trusting it as an allocation size.
+    if ncols > (body.len() - cur.pos) / (SKETCH_SLOTS * 8) {
+        return None;
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let col_name = if cur.u8()? != 0 {
+            Some(cur.str()?)
+        } else {
+            None
+        };
+        let dtype = dtype_from_tag(cur.u8()?)?;
+        let null_count = cur.u64()? as usize;
+        let cardinality = cur.u64()? as usize;
+        let min = cur.opt_f64()?;
+        let max = cur.opt_f64()?;
+        let mut slots = [0u64; SKETCH_SLOTS];
+        for slot in slots.iter_mut() {
+            *slot = cur.u64()?;
+        }
+        columns.push(ColumnSketch {
+            name: col_name,
+            dtype,
+            null_count,
+            min,
+            max,
+            sketch: MinHash::from_parts(slots, cardinality),
+        });
+    }
+    if cur.pos != body.len() {
+        return None;
+    }
+    Some((
+        fp,
+        TableSketch {
+            name,
+            source,
+            approx_bytes,
+            nrows,
+            columns,
+        },
+    ))
+}
+
+/// Persist `sketch` as the record of `file_name` at fingerprint `fp`.
+/// Best-effort by design: a full disk or read-only `.metam` must not fail
+/// a scan — candidate generation just keeps falling back to table loads.
+pub fn store(
+    root: &Path,
+    file_name: &str,
+    fp: Fingerprint,
+    sketch: &TableSketch,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(sketch_dir(root))?;
+    std::fs::write(sketch_path(root, file_name), encode(fp, sketch))
+}
+
+/// Load the sketch record for a catalog entry, validating version,
+/// checksum and the embedded fingerprint against the entry's recorded
+/// size + mtime. `None` on any mismatch or damage — never an error.
+pub fn load(root: &Path, entry: &TableMeta) -> Option<TableSketch> {
+    let bytes = std::fs::read(sketch_path(root, &entry.file_name)).ok()?;
+    let (fp, mut sketch) = decode(&bytes)?;
+    if fp != entry.fingerprint() {
+        return None;
+    }
+    // Pin identity to the *current* catalog view, exactly like the `.mtc`
+    // cache does: the stem is authoritative for the name and a renamed
+    // lake directory changes the provenance tag.
+    sketch.name = entry.name.clone();
+    if let Some(dir) = root.file_name() {
+        sketch.source = dir.to_string_lossy().into_owned();
+    }
+    Some(sketch)
+}
+
+/// `true` when `file_name` has a fully valid sketch record at `fp`
+/// (magic, version, checksum and fingerprint all check out). The scan
+/// planner uses this to demote manifest hits whose sketch is missing or
+/// damaged, so stale records heal by re-profiling just their file.
+pub fn is_fresh(root: &Path, file_name: &str, fp: Fingerprint) -> bool {
+    let Ok(bytes) = std::fs::read(sketch_path(root, file_name)) else {
+        return false;
+    };
+    matches!(decode(&bytes), Some((stored_fp, _)) if stored_fp == fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metam_table::Column;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metam-sketch-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn table() -> Table {
+        let mut t = Table::from_columns(
+            "t",
+            vec![
+                Column::from_strings(
+                    Some("zip".into()),
+                    (0..40).map(|i| Some(format!("z{i}"))).collect(),
+                ),
+                Column::from_floats(
+                    Some("rate".into()),
+                    (0..40)
+                        .map(|i| (i % 5 != 0).then_some(i as f64 / 3.0))
+                        .collect(),
+                ),
+                Column::from_ints(None, (0..40).map(|i| Some(i % 7)).collect()),
+            ],
+        )
+        .unwrap();
+        t.source = "lake".into();
+        t
+    }
+
+    fn entry(fp: Fingerprint) -> TableMeta {
+        TableMeta {
+            name: "t".into(),
+            file_name: "t.csv".into(),
+            file_size: fp.0,
+            mtime_s: fp.1,
+            mtime_ns: fp.2,
+            nrows: 40,
+            ncols: 3,
+            columns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_identically() {
+        let sketch = TableSketch::from_table(&table());
+        let fp = (12, 34, 56);
+        let bytes = encode(fp, &sketch);
+        let (fp2, back) = decode(&bytes).expect("valid record");
+        assert_eq!(fp2, fp);
+        assert_eq!(back, sketch, "sketch ↔ bytes ↔ sketch is lossless");
+        assert_eq!(encode(fp, &back), bytes, "re-encoding is byte-identical");
+    }
+
+    #[test]
+    fn descriptor_from_record_equals_descriptor_from_table() {
+        let t = table();
+        let sketch = TableSketch::from_table(&t);
+        let bytes = encode((1, 2, 3), &sketch);
+        let (_, back) = decode(&bytes).unwrap();
+        assert_eq!(back.to_descriptor(), TableDescriptor::from_table(&t));
+    }
+
+    #[test]
+    fn store_then_load_validates_fingerprint() {
+        let root = tmp_root("fp");
+        let sketch = TableSketch::from_table(&table());
+        store(&root, "t.csv", (10, 20, 30), &sketch).unwrap();
+        assert!(load(&root, &entry((10, 20, 30))).is_some());
+        assert!(load(&root, &entry((11, 20, 30))).is_none(), "stale size");
+        assert!(load(&root, &entry((10, 21, 30))).is_none(), "stale mtime");
+        assert!(is_fresh(&root, "t.csv", (10, 20, 30)));
+        assert!(!is_fresh(&root, "t.csv", (10, 20, 31)));
+        assert!(!is_fresh(&root, "missing.csv", (10, 20, 30)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn load_pins_name_and_source_to_catalog_view() {
+        let root = tmp_root("pin");
+        let mut sketch = TableSketch::from_table(&table());
+        sketch.name = "old-name".into();
+        sketch.source = "old-source".into();
+        store(&root, "t.csv", (1, 2, 3), &sketch).unwrap();
+        let loaded = load(&root, &entry((1, 2, 3))).unwrap();
+        assert_eq!(loaded.name, "t", "entry stem is authoritative");
+        assert_eq!(
+            loaded.source,
+            root.file_name().unwrap().to_string_lossy(),
+            "lake directory is the provenance tag"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_bump_invalidates_even_with_valid_checksum() {
+        let sketch = TableSketch::from_table(&table());
+        let mut bytes = encode((1, 2, 3), &sketch);
+        // Re-seal the record with a bumped version: the checksum is
+        // valid, so only the version gate can reject it.
+        let body_len = bytes.len() - 8;
+        bytes[4..8].copy_from_slice(&(SKETCH_VERSION + 1).to_le_bytes());
+        let sum = checksum(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode(&bytes).is_none(), "future version must not parse");
+    }
+
+    #[test]
+    fn truncated_or_corrupt_record_is_rejected() {
+        let sketch = TableSketch::from_table(&table());
+        let bytes = encode((1, 2, 3), &sketch);
+        for cut in [0, 4, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(decode(&flipped).is_none(), "bit flip");
+        assert!(decode(b"xx").is_none(), "garbage");
+    }
+
+    #[test]
+    fn huge_column_count_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SKETCH_MAGIC);
+        bytes.extend_from_slice(&SKETCH_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 20]); // fingerprint
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // name ""
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // source ""
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // approx_bytes
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // nrows
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // ncols: absurd
+        let sum = checksum(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(decode(&bytes).is_none());
+    }
+}

@@ -31,6 +31,9 @@ pub enum TableError {
     UnionMismatch(String),
     /// A join was requested on an empty or all-null key column.
     EmptyJoinKey,
+    /// A deferred table provider failed to deliver a repository table
+    /// (e.g. a lake file vanished between indexing and materialization).
+    Provider(String),
 }
 
 impl fmt::Display for TableError {
@@ -54,6 +57,7 @@ impl fmt::Display for TableError {
             TableError::ColBin(msg) => write!(f, "colbin error: {msg}"),
             TableError::UnionMismatch(msg) => write!(f, "union mismatch: {msg}"),
             TableError::EmptyJoinKey => write!(f, "join key column has no usable values"),
+            TableError::Provider(msg) => write!(f, "table provider error: {msg}"),
         }
     }
 }

@@ -206,12 +206,14 @@ fn cmd_scan(args: &[String]) -> CliResult<()> {
         println!("{:<24} {:>8} {:>6}", entry.name, entry.nrows, entry.ncols);
     }
     println!(
-        "{} tables, {} rows, {} columns | profile cache: {} hit(s), {} miss(es)",
+        "{} tables, {} rows, {} columns | profile cache: {} hit(s), {} miss(es) | sketches: {} fresh, {} written",
         catalog.len(),
         catalog.total_rows(),
         catalog.total_columns(),
         catalog.cache_hits(),
         catalog.cache_misses(),
+        catalog.sketch_hits(),
+        catalog.sketch_misses(),
     );
     println!(
         "catalog: {} ({} shards, {} rewritten) | table cache: {}",
@@ -264,17 +266,19 @@ fn cmd_profile(args: &[String]) -> CliResult<()> {
 }
 
 /// Machine-readable catalog statistics (`profile --json`): per-table
-/// column stats plus the scan's profile-cache and `.mtc`-vs-CSV load
-/// counters.
+/// column stats plus the scan's profile-cache, `.mtc`-vs-CSV load and
+/// sketch-record counters.
 fn profile_json(catalog: &LakeCatalog, only: Option<&str>) -> String {
     let counters = catalog.load_counters();
     let mut out = String::from("{\"cache\":{");
     out.push_str(&format!(
-        "\"profile_hits\":{},\"profile_misses\":{},\"mtc_loads\":{},\"csv_fallbacks\":{}}}",
+        "\"profile_hits\":{},\"profile_misses\":{},\"mtc_loads\":{},\"csv_fallbacks\":{},\"sketch_hits\":{},\"sketch_misses\":{}}}",
         catalog.cache_hits(),
         catalog.cache_misses(),
         counters.hits(),
         counters.misses(),
+        catalog.sketch_hits(),
+        catalog.sketch_misses(),
     ));
     out.push_str(",\"tables\":[");
     let mut first_table = true;
@@ -393,16 +397,19 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
 
     let catalog = LakeCatalog::scan(dir)?;
     eprintln!(
-        "lake {dir}: {} tables ({} cache hits, {} misses, {} shard(s) rewritten)",
+        "lake {dir}: {} tables ({} cache hits, {} misses, {} shard(s) rewritten, {} sketch(es) written)",
         catalog.len(),
         catalog.cache_hits(),
         catalog.cache_misses(),
         catalog.shards_written(),
+        catalog.sketch_misses(),
     );
     warn_string_regression_target(&catalog, &din_arg, &task_spec, seed);
-    // The counter handle outlives the catalog's move into the session, so
-    // the .mtc-vs-CSV split can be reported after the run.
+    // The counter handles outlive the catalog's move into the session, so
+    // the .mtc-vs-CSV and sketch-vs-load splits can be reported after the
+    // run.
     let load_counters = catalog.load_counters();
+    let sketch_counters = catalog.sketch_load_counters();
 
     let mut session = Session::from_catalog(catalog)
         .din(din_arg)
@@ -423,6 +430,11 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
 
     let report = session.run(Method::Metam(MetamConfig::default()))?;
     metam_obs::flush();
+    eprintln!(
+        "sketch index: {} record(s) served, {} table-load fallback(s)",
+        sketch_counters.hits(),
+        sketch_counters.misses(),
+    );
     eprintln!(
         "table cache: {} load(s) from .mtc, {} CSV fallback(s)",
         load_counters.hits(),
@@ -587,6 +599,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cache\":{\"profile_hits\":0,\"profile_misses\":1"));
         assert!(json.contains("\"mtc_loads\":0,\"csv_fallbacks\":0"));
+        assert!(json.contains("\"sketch_hits\":0,\"sketch_misses\":1"));
         assert!(json.contains("\"tables\":[{\"table\":\"a\""));
         assert!(json.contains("\"name\":\"v\""));
         assert!(json.contains("\"nulls\":1"));

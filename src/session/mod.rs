@@ -281,7 +281,7 @@ impl Session {
 
         let mut prepared = assemble(
             data.din,
-            data.tables,
+            data.repository,
             target_column,
             task,
             &profile_set,

@@ -12,7 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use metam_core::Task;
+use metam_core::{Repository, Task};
 use metam_datagen::{GroundTruth, Scenario};
 use metam_lake::catalog::read_table_file;
 use metam_lake::{LakeCatalog, LakeError, ScanOptions};
@@ -36,8 +36,11 @@ pub struct SourceRequest {
 pub struct SourceData {
     /// The input dataset `Din`.
     pub din: Table,
-    /// The repository tables candidates are discovered in.
-    pub tables: Vec<Arc<Table>>,
+    /// The repository candidates are discovered in: eager in-memory
+    /// tables (scenarios), or payload-free descriptors plus a lazy
+    /// provider (sketch-backed lakes, where only candidate-winning
+    /// tables ever load).
+    pub repository: Repository,
     /// A default downstream task, when the source can build one (synthetic
     /// scenarios carry a task spec; real lakes return `None`).
     pub task: Option<Box<dyn Task>>,
@@ -84,7 +87,7 @@ impl DataSource for ScenarioSource {
     fn load(&self, request: &SourceRequest) -> Result<SourceData, SessionError> {
         Ok(SourceData {
             din: self.scenario.din.clone(),
-            tables: self.scenario.tables.clone(),
+            repository: self.scenario.tables.clone().into(),
             task: Some(build_task(&self.scenario, request.seed)),
             target: self.scenario.spec.target_name().map(String::from),
             ground_truth: Some(self.scenario.ground_truth.clone()),
@@ -95,8 +98,9 @@ impl DataSource for ScenarioSource {
 enum LakeBacking {
     /// Scan the directory at prepare time (with these scan options).
     Path(PathBuf, ScanOptions),
-    /// An already-scanned catalog.
-    Catalog(LakeCatalog),
+    /// An already-scanned catalog (shared, so the lazy table provider
+    /// keeps resolving loads through the very same counters).
+    Catalog(Arc<LakeCatalog>),
 }
 
 /// An on-disk CSV lake, backed by a directory path (scanned at prepare
@@ -130,7 +134,7 @@ impl LakeSource {
     /// Lake behind an already-scanned catalog.
     pub fn from_catalog(catalog: LakeCatalog) -> LakeSource {
         LakeSource {
-            backing: LakeBacking::Catalog(catalog),
+            backing: LakeBacking::Catalog(Arc::new(catalog)),
         }
     }
 }
@@ -146,13 +150,9 @@ impl DataSource for LakeSource {
     }
 
     fn load(&self, request: &SourceRequest) -> Result<SourceData, SessionError> {
-        let scanned;
-        let catalog = match &self.backing {
-            LakeBacking::Path(p, options) => {
-                scanned = LakeCatalog::scan_with(p, options)?;
-                &scanned
-            }
-            LakeBacking::Catalog(c) => c,
+        let catalog: Arc<LakeCatalog> = match &self.backing {
+            LakeBacking::Path(p, options) => Arc::new(LakeCatalog::scan_with(p, options)?),
+            LakeBacking::Catalog(c) => Arc::clone(c),
         };
         let input = request.input.as_deref().ok_or(SessionError::MissingInput)?;
         let (din, from_catalog) = if catalog.get(input).is_some() {
@@ -167,15 +167,23 @@ impl DataSource for LakeSource {
         } else {
             vec![]
         };
-        let tables = metam_lake::prepare::repository_tables(catalog, &din, Some(&excluded))?;
+        // Sketch-backed prepare: descriptors come from persisted catalog
+        // records, and repository payloads load lazily through the
+        // provider only when a candidate materializes.
+        let (descriptors, provider) =
+            metam_lake::prepare::repository_descriptors(&catalog, &din, Some(&excluded))?;
         // Surface the .mtc-vs-CSV load split in the metrics registry (one
-        // flush per prepare; the atomics count everything loaded above).
+        // flush per prepare; the atomics count everything loaded above —
+        // with lazy loading, typically just the input dataset so far).
         let counters = catalog.load_counters();
         metam_obs::counter_add("lake.load.mtc_hits", counters.hits() as u64);
         metam_obs::counter_add("lake.load.csv_fallbacks", counters.misses() as u64);
         Ok(SourceData {
             din,
-            tables,
+            repository: Repository::Deferred {
+                descriptors,
+                provider: Box::new(provider),
+            },
             task: None,
             target: None,
             ground_truth: None,

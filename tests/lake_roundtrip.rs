@@ -226,17 +226,22 @@ fn null_marker_strings_roundtrip_without_spurious_nulls() {
 }
 
 #[test]
-fn discover_loads_candidate_tables_from_the_columnar_cache() {
-    // A discover run over a scanned lake must deserialize repository
-    // tables from `.mtc`, not re-parse CSV text (asserted via the shared
-    // load counters, which outlive the catalog's move into the session).
+fn discover_loads_only_din_and_candidate_tables_from_the_cache() {
+    // A sketch-backed prepare builds the discovery index from persisted
+    // catalog records, so the only table payloads that load are the input
+    // dataset plus the tables some candidate's join path actually touches
+    // — and every one of those loads deserializes from `.mtc`, not CSV
+    // (asserted via the shared counters, which outlive the catalog's move
+    // into the session).
     let dir = tmp_dir("mtc-discover");
     let scenario = small_scenario(17);
     export_scenario(&scenario, &dir).expect("export");
 
     let catalog = LakeCatalog::scan(&dir).expect("scan");
     let n_tables = catalog.len();
+    let repo_names = catalog.repository_names(&["din"]);
     let counters = catalog.load_counters();
+    let sketch_counters = catalog.sketch_load_counters();
     let prepared = Session::from_catalog(catalog)
         .din("din")
         .task_spec("classification:label")
@@ -244,10 +249,29 @@ fn discover_loads_candidate_tables_from_the_columnar_cache() {
         .prepare()
         .expect("prepare");
     assert!(!prepared.candidates.is_empty());
+
+    // Candidate generation itself ran entirely off sketch records.
+    assert_eq!(
+        sketch_counters.hits(),
+        n_tables - 1,
+        "every repository descriptor comes from its persisted sketch"
+    );
+    assert_eq!(sketch_counters.misses(), 0, "no table-load fallbacks");
+
+    // Payload loads are bounded by what the candidates touch: din plus
+    // each distinct table on some candidate's join path.
+    let mut touched: Vec<&str> = prepared
+        .candidates
+        .iter()
+        .flat_map(|c| c.path.hops.iter())
+        .map(|h| repo_names[h.table].as_str())
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
     assert_eq!(
         counters.hits(),
-        n_tables,
-        "every load (din + repository) must come from the columnar cache"
+        1 + touched.len(),
+        "loads = din + candidate-path tables, nothing else"
     );
     assert_eq!(counters.misses(), 0, "no CSV re-parsing on a warm lake");
 

@@ -1,0 +1,223 @@
+//! Sketch-backed discovery end to end: persisted `.mks` records must be
+//! a lossless stand-in for the tables they summarize.
+//!
+//! The contract under test — candidate generation from persisted catalog
+//! sketches is **indistinguishable** from candidate generation over loaded
+//! tables: byte-identical record round trips, version bumps and corruption
+//! demote to re-profiling (which heals the record in place), and the
+//! candidate set on a real fixture matches the in-memory path exactly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use metam::core::{assemble, AssembleOptions, Repository};
+use metam::lake::prepare::{repository_descriptors, repository_tables};
+use metam::lake::{export_scenario, parse_task, sketch, LakeCatalog};
+use metam::profile::default_profiles;
+use metam::Session;
+use metam_datagen::causal_scenario::{build_causal, CausalConfig, CausalKind};
+use metam_datagen::Scenario;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metam-sketch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The causal how-to fixture shared with `causal_end_to_end.rs` /
+/// `observability.rs` — a realistic lake with planted relevant, erroneous,
+/// and confounder tables.
+fn howto_scenario() -> Scenario {
+    build_causal(&CausalConfig {
+        seed: 32,
+        kind: CausalKind::HowTo,
+        n_irrelevant_tables: 20,
+        n_erroneous_tables: 6,
+        n_confounder_tables: 8,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn persisted_records_roundtrip_bit_identically_through_disk() {
+    // Record-level contract via the public API: scan writes one `.mks`
+    // per file, and decoding it yields the exact sketch computed from the
+    // loaded table — same slots, cardinalities, nulls, ranges.
+    let dir = tmp_dir("roundtrip");
+    let scenario = howto_scenario();
+    export_scenario(&scenario, &dir).expect("export");
+    let catalog = LakeCatalog::scan(&dir).expect("scan");
+
+    for entry in catalog.entries() {
+        let from_disk = sketch::load(&dir, entry).expect("record exists and validates");
+        let table = catalog.load_table(&entry.name).expect("load");
+        let from_table = sketch::TableSketch::from_table(&table);
+        assert_eq!(
+            from_disk, from_table,
+            "persisted sketch for {} must equal the freshly computed one",
+            entry.name
+        );
+        // And the encode→decode cycle is bit-stable: re-encoding what we
+        // decoded reproduces the on-disk bytes exactly.
+        let path = sketch::sketch_path(&dir, &entry.file_name);
+        let bytes = std::fs::read(&path).expect("read record");
+        let (fp, decoded) = sketch::decode(&bytes).expect("decode");
+        assert_eq!(sketch::encode(fp, &decoded), bytes, "{}", entry.name);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_bump_invalidates_and_rescan_heals() {
+    let dir = tmp_dir("version");
+    let scenario = howto_scenario();
+    export_scenario(&scenario, &dir).expect("export");
+    let first = LakeCatalog::scan(&dir).expect("scan");
+    assert_eq!(first.sketch_misses(), first.len(), "cold lake writes all");
+
+    // Forge a future-version record with a *valid* checksum: bump the
+    // version field, then re-seal. Freshness must reject it on version
+    // alone — a newer writer's records are not readable by this build.
+    let entry = first.get("din").expect("din entry");
+    let path = sketch::sketch_path(&dir, &entry.file_name);
+    let mut bytes = std::fs::read(&path).expect("read record");
+    let bumped = (sketch::SKETCH_VERSION + 1).to_le_bytes();
+    bytes[4..8].copy_from_slice(&bumped);
+    let body_len = bytes.len() - 8;
+    let seal = sketch::checksum(&bytes[..body_len]).to_le_bytes();
+    bytes[body_len..].copy_from_slice(&seal);
+    std::fs::write(&path, &bytes).expect("write forged record");
+    assert!(
+        sketch::load(&dir, entry).is_none(),
+        "future version rejected"
+    );
+
+    // Re-scan: the one demoted file re-profiles and heals its record back
+    // to the current version; everything else stays a sketch hit.
+    let second = LakeCatalog::scan(&dir).expect("rescan");
+    assert_eq!(second.sketch_misses(), 1, "only the forged record demotes");
+    assert_eq!(second.sketch_hits(), second.len() - 1);
+    let healed = std::fs::read(&path).expect("read healed record");
+    assert_eq!(
+        u32::from_le_bytes(healed[4..8].try_into().expect("4 bytes")),
+        sketch::SKETCH_VERSION,
+        "healed record is written at the current version"
+    );
+    assert!(
+        sketch::load(&dir, entry).is_some(),
+        "record validates again"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_record_self_heals_during_prepare() {
+    // A record that rots *after* scan (so the manifest still trusts it)
+    // must not poison prepare: `sketch_descriptors` falls back to the
+    // table payload for that one file, produces the same descriptor, and
+    // rewrites the record in place.
+    let dir = tmp_dir("heal");
+    let scenario = howto_scenario();
+    export_scenario(&scenario, &dir).expect("export");
+    LakeCatalog::scan(&dir).expect("warm scan");
+
+    let catalog = LakeCatalog::scan(&dir).expect("scan");
+    let n_tables = catalog.len();
+    let victim = catalog
+        .entries()
+        .iter()
+        .find(|e| e.name != "din")
+        .expect("repository table")
+        .clone();
+    let path = sketch::sketch_path(&dir, &victim.file_name);
+    let mut bytes = std::fs::read(&path).expect("read record");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("corrupt record");
+
+    let sketch_counters = catalog.sketch_load_counters();
+    let prepared = Session::from_catalog(catalog)
+        .din("din")
+        .task_spec("regression:critical_reading")
+        .seed(32)
+        .prepare()
+        .expect("prepare");
+    assert!(!prepared.candidates.is_empty());
+    assert_eq!(
+        sketch_counters.hits(),
+        n_tables - 2,
+        "every record but the corrupt one serves its descriptor"
+    );
+    assert_eq!(sketch_counters.misses(), 1, "one table-load fallback");
+
+    // The fallback healed the record on disk: it validates again and
+    // matches the sketch of the table it summarizes.
+    let healed = sketch::load(&dir, &victim).expect("healed record validates");
+    let catalog = LakeCatalog::scan(&dir).expect("rescan");
+    assert_eq!(catalog.sketch_hits(), catalog.len(), "no demotions left");
+    let table = catalog.load_table(&victim.name).expect("load");
+    assert_eq!(healed, sketch::TableSketch::from_table(&table));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sketch_backed_candidates_match_in_memory_build_on_howto_fixture() {
+    // Lake-wide parity on the causal how-to fixture: preparing from
+    // persisted sketches (descriptors + lazy provider) yields a candidate
+    // set **byte-identical** to `DiscoveryIndex::build` over eagerly
+    // loaded tables — same candidates, same order, same join paths.
+    let dir = tmp_dir("parity");
+    let scenario = howto_scenario();
+    export_scenario(&scenario, &dir).expect("export");
+    let catalog = Arc::new(LakeCatalog::scan(&dir).expect("scan"));
+
+    let options = AssembleOptions {
+        seed: 32,
+        ..Default::default()
+    };
+    let task = || parse_task("regression:critical_reading", 32).expect("task");
+
+    let din = catalog.load_table("din").expect("din");
+    let target_column = din.column_index("critical_reading").ok();
+    let tables = repository_tables(&catalog, &din, None).expect("tables");
+    let eager = assemble(
+        din,
+        tables,
+        target_column,
+        task().task,
+        &default_profiles(),
+        &options,
+    );
+
+    let din = catalog.load_table("din").expect("din");
+    let (descriptors, provider) = repository_descriptors(&catalog, &din, None).expect("sketches");
+    let lazy = assemble(
+        din,
+        Repository::Deferred {
+            descriptors,
+            provider: Box::new(provider),
+        },
+        target_column,
+        task().task,
+        &default_profiles(),
+        &options,
+    );
+
+    assert!(
+        !eager.candidates.is_empty(),
+        "fixture must yield candidates"
+    );
+    assert_eq!(
+        eager.candidates, lazy.candidates,
+        "sketch-backed candidate set must be identical to the in-memory build"
+    );
+    assert_eq!(
+        eager.profiles, lazy.profiles,
+        "profile vectors must be identical too"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
