@@ -38,4 +38,24 @@ trap 'rm -rf "$TRACE_DIR"' EXIT
     --trace "$TRACE_DIR/run.jsonl" >/dev/null
 ./target/release/metam trace-validate "$TRACE_DIR/run.jsonl"
 
+echo "== serve smoke: daemon answers status/discover over TCP, then drains =="
+SERVE_LOG="$TRACE_DIR/serve.log"
+./target/release/metam serve "$TRACE_DIR/lake" --workers 2 --queue 4 \
+    --stop-file "$TRACE_DIR/stop" > "$SERVE_LOG" 2>/dev/null &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^metam serve listening on //p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve smoke: daemon never printed its address"; exit 1; }
+./target/release/metam request "$ADDR" '{"verb":"status"}' > /dev/null
+./target/release/metam request "$ADDR" \
+    '{"verb":"discover","lake":"lake","din":"din","task":"classification:label","seed":7,"budget":60}' \
+    > "$TRACE_DIR/serve-discover.json"
+grep -q '"report":' "$TRACE_DIR/serve-discover.json"
+./target/release/metam request "$ADDR" '{"verb":"shutdown"}' > /dev/null
+wait "$SERVE_PID"
+
 echo "CI OK"

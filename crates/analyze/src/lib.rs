@@ -17,9 +17,9 @@
 //! | `nondeterministic-iteration` | no unordered hash iteration in output-affecting crates |
 //! | `panic-in-lib` | library code returns typed errors, never aborts |
 //! | `timing-outside-guard` | metam-core reads the clock only behind the observer gate |
-//! | `raw-thread-spawn` | parallelism only via the sanctioned scan worker pool |
+//! | `raw-thread-spawn` | threads only in the sanctioned worker-pool and serve daemon modules |
 //! | `unjustified-atomic-ordering` | non-`Relaxed` orderings carry an `// ordering:` note |
-//! | `env-read-outside-config` | env reads only in catalog/sink/bench/CLI entry modules |
+//! | `env-read-outside-config` | env reads only in catalog/sink/bench/serve/CLI entry modules |
 //! | `missing-forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `invalid-pragma` | suppressions are well-formed and carry a reason |
 //!

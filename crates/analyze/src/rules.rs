@@ -25,17 +25,28 @@ pub const RULES: &[&str] = &[
 
 /// Crates whose outputs must be byte-identical run to run: iterating a
 /// hash container here risks order-dependent results.
-const OUTPUT_AFFECTING_CRATES: &[&str] = &["core", "lake", "discovery", "profile", "pool", "metam"];
+const OUTPUT_AFFECTING_CRATES: &[&str] = &[
+    "core",
+    "lake",
+    "discovery",
+    "profile",
+    "pool",
+    "serve",
+    "metam",
+];
 
-/// The one module allowed to own raw threads (the shared worker pool
-/// scan and search both submit to).
-const SANCTIONED_SPAWN_MODULES: &[&str] = &["crates/pool/src/lib.rs"];
+/// The modules allowed to own raw threads: the shared worker pool (scan
+/// and search submit to it) and the serve daemon's acceptor/worker/
+/// connection threads (long-lived service threads, not fork-join work —
+/// the pool's scoped lifetimes cannot express them).
+const SANCTIONED_SPAWN_MODULES: &[&str] = &["crates/pool/src/lib.rs", "crates/serve/src/server.rs"];
 
 /// Modules allowed to read process environment (configuration entry
 /// points; everything else must take config as arguments).
 const ENV_ALLOWED: &[&str] = &[
     "crates/lake/src/catalog.rs",
     "crates/obs/src/sink.rs",
+    "crates/serve/src/server.rs",
     "src/cli.rs",
 ];
 const ENV_ALLOWED_PREFIXES: &[&str] = &["crates/bench/", "src/bin/"];

@@ -111,6 +111,11 @@ fn hash_iteration_fires_in_output_affecting_crates() {
     let src = "let mut m = HashMap::new();\nfor (k, v) in &m {\n    emit(k, v);\n}";
     let report = analyze_source("crates/core/src/engine.rs", src);
     assert_eq!(rules_fired(&report), vec!["nondeterministic-iteration"]);
+    // The serve crate renders wire replies, so it is output-affecting too.
+    let src = "pub fn f(m: &HashMap<String, u32>) -> Vec<u32> {\n    \
+               m.values().copied().collect()\n}";
+    let report = analyze_source("crates/serve/src/server.rs", src);
+    assert_eq!(rules_fired(&report), vec!["nondeterministic-iteration"]);
 }
 
 #[test]
@@ -178,6 +183,12 @@ fn raw_thread_spawn_only_in_sanctioned_module() {
     // root, so the fixture needs the forbid attribute too).
     let pool_src = format!("#![forbid(unsafe_code)]\n{src}");
     assert!(analyze_source("crates/pool/src/lib.rs", &pool_src).clean());
+    // The daemon's service threads (acceptor, readers, workers) are the
+    // other sanctioned site — but only its server module, not the rest of
+    // the serve crate.
+    assert!(analyze_source("crates/serve/src/server.rs", src).clean());
+    let report = analyze_source("crates/serve/src/protocol.rs", src);
+    assert_eq!(rules_fired(&report), vec!["raw-thread-spawn"]);
     // The scan catalog lost its exemption when the pool moved out of it.
     let report = analyze_source("crates/lake/src/catalog.rs", src);
     assert_eq!(rules_fired(&report), vec!["raw-thread-spawn"]);
@@ -225,6 +236,10 @@ fn env_reads_are_confined_to_entry_modules() {
     assert!(analyze_source("src/cli.rs", src).clean());
     assert!(analyze_source("crates/bench/src/ingest.rs", src).clean());
     assert!(analyze_source("src/bin/metam.rs", src).clean());
+    // The daemon reads METAM_SERVE_* tuning in its server module only.
+    assert!(analyze_source("crates/serve/src/server.rs", src).clean());
+    let report = analyze_source("crates/serve/src/registry.rs", src);
+    assert_eq!(rules_fired(&report), vec!["env-read-outside-config"]);
     // Tests may read env (temp dirs).
     let src = "#[cfg(test)]\nmod tests {\n    fn t() { let d = std::env::temp_dir(); }\n}";
     assert!(analyze_source("crates/core/src/engine.rs", src).clean());

@@ -85,6 +85,12 @@ pub type Fingerprint = (u64, u64, u32);
 pub struct LoadCounters {
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Events not yet consumed by [`take_unflushed`](Self::take_unflushed).
+    /// Kept separate from the lifetime totals so periodic flushing (e.g.
+    /// into the metrics registry once per prepare) never double-counts
+    /// when many concurrent prepares share one catalog.
+    unflushed_hits: AtomicUsize,
+    unflushed_misses: AtomicUsize,
 }
 
 impl LoadCounters {
@@ -98,12 +104,27 @@ impl LoadCounters {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Drain the `(hits, misses)` recorded since the last drain. Each load
+    /// is handed out exactly once across all callers (the unflushed pair
+    /// is swapped to zero atomically per counter), so flushing deltas into
+    /// a global registry from N concurrent prepares sums to the lifetime
+    /// totals — never more. Lifetime [`hits`](Self::hits) /
+    /// [`misses`](Self::misses) are unaffected.
+    pub fn take_unflushed(&self) -> (usize, usize) {
+        (
+            self.unflushed_hits.swap(0, Ordering::Relaxed),
+            self.unflushed_misses.swap(0, Ordering::Relaxed),
+        )
+    }
+
     pub(crate) fn add_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.unflushed_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn add_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.unflushed_misses.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -452,10 +473,10 @@ impl LakeCatalog {
 
     fn load_entry(&self, entry: &TableMeta) -> Result<Table> {
         if let Some(table) = cache::load(&self.root, entry) {
-            self.load_counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.load_counters.add_hit();
             return Ok(table);
         }
-        self.load_counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.load_counters.add_miss();
         let path = self.root.join(&entry.file_name);
         let table = read_table_file(&path)?;
         // Heal the cache — but only when the file still matches the
@@ -545,6 +566,59 @@ impl LakeCatalog {
     pub fn total_columns(&self) -> usize {
         self.entries.iter().map(|e| e.ncols).sum()
     }
+
+    /// Whether the lake directory has drifted from this catalog since its
+    /// scan: a CSV file added, removed, renamed, or re-fingerprinted
+    /// (size+mtime — the same invalidation key every cache layer uses).
+    /// I/O trouble while checking counts as stale, so a long-lived holder
+    /// (the `metam serve` registry) errs toward a [`rescan`](Self::rescan)
+    /// rather than serving answers about files it can no longer see.
+    pub fn is_stale(&self) -> bool {
+        let mut current: Vec<(String, PathBuf)> = Vec::new();
+        let Ok(dir) = std::fs::read_dir(&self.root) else {
+            return true;
+        };
+        for entry in dir {
+            let Ok(entry) = entry else { return true };
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let is_csv = path
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+            if !is_csv {
+                continue;
+            }
+            current.push((entry.file_name().to_string_lossy().into_owned(), path));
+        }
+        current.sort();
+        if current.len() != self.entries.len() {
+            return true;
+        }
+        // Entries are already in file-name order (scan sorts before
+        // profiling), so a pairwise walk compares the full file sets.
+        current
+            .iter()
+            .zip(&self.entries)
+            .any(|((name, path), meta)| {
+                name != &meta.file_name
+                    || fingerprint(path).map_or(true, |fp| fp != meta.fingerprint())
+            })
+    }
+
+    /// Re-scan the same lake directory, producing a refreshed catalog that
+    /// keeps observing on **this** catalog's [`LoadCounters`] handles —
+    /// the refresh hook for long-lived holders (`metam serve`), whose
+    /// server-lifetime hit/miss totals must survive catalog swaps.
+    /// Unchanged files reuse the persisted profile cache exactly like any
+    /// other scan; only drifted files re-profile.
+    pub fn rescan(&self, options: &ScanOptions) -> Result<LakeCatalog> {
+        let mut fresh = Self::scan_with(&self.root, options)?;
+        fresh.load_counters = Arc::clone(&self.load_counters);
+        fresh.sketch_counters = Arc::clone(&self.sketch_counters);
+        Ok(fresh)
+    }
 }
 
 /// Read one CSV file as a [`Table`] named by its file stem, tagged with the
@@ -633,6 +707,64 @@ mod tests {
         let cat = LakeCatalog::scan(&dir).unwrap();
         assert_eq!(cat.len(), 1);
         assert!(cat.get("b").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn take_unflushed_hands_each_load_out_once() {
+        let dir = tmp_dir("unflushed");
+        fs::write(dir.join("a.csv"), "x\n1\n2\n").unwrap();
+        fs::write(dir.join("b.csv"), "y\n3\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        let counters = cat.load_counters();
+
+        cat.load_table("a").unwrap();
+        cat.load_table("b").unwrap();
+        let first = counters.take_unflushed();
+        assert_eq!(first.0 + first.1, 2, "both loads in the first drain");
+        assert_eq!(
+            counters.take_unflushed(),
+            (0, 0),
+            "a second drain with no new loads hands out nothing"
+        );
+        // Lifetime totals are untouched by draining.
+        assert_eq!(counters.hits() + counters.misses(), 2);
+
+        cat.load_table("a").unwrap();
+        let second = counters.take_unflushed();
+        assert_eq!(second.0 + second.1, 1, "only the new load is unflushed");
+        assert_eq!(counters.hits() + counters.misses(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staleness_detected_and_rescan_keeps_counter_handles() {
+        let dir = tmp_dir("stale");
+        fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
+        let cat = LakeCatalog::scan(&dir).unwrap();
+        assert!(!cat.is_stale(), "freshly scanned lake is not stale");
+        cat.load_table("a").unwrap();
+        let counters = cat.load_counters();
+        let lifetime = counters.hits() + counters.misses();
+        assert_eq!(lifetime, 1);
+
+        // Content drift (different size ⇒ different fingerprint) and file
+        // additions both count as stale.
+        fs::write(dir.join("a.csv"), "x\n1\n2\n").unwrap();
+        assert!(cat.is_stale(), "re-fingerprinted file is drift");
+        fs::write(dir.join("b.csv"), "y\n9\n").unwrap();
+        assert!(cat.is_stale(), "added file is drift");
+
+        let fresh = cat.rescan(&ScanOptions::sequential()).unwrap();
+        assert!(!fresh.is_stale());
+        assert_eq!(fresh.len(), 2, "rescan sees the added table");
+        assert_eq!(fresh.get("a").unwrap().nrows, 2);
+        fresh.load_table("b").unwrap();
+        assert_eq!(
+            counters.hits() + counters.misses(),
+            lifetime + 1,
+            "the refreshed catalog observes on the original counter handles"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,226 @@
+//! Bounded FIFO request queue with budget-aware admission.
+//!
+//! Admission is decided at submit time against a server-wide ceiling on
+//! *outstanding* work (queued + actively running): an over-ceiling submit
+//! gets a typed `rejected` error immediately — the caller replies on the
+//! wire instead of hanging — and a submit during shutdown gets a typed
+//! `shutting_down` error. Workers block on [`JobQueue::next`] and drain
+//! strictly in arrival order; [`JobQueue::drain`] flips the queue into
+//! shutdown mode, after which `next` returns `None` once the backlog is
+//! empty and [`JobQueue::wait_idle`] unblocks once in-flight work
+//! finishes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::protocol::{ErrorKind, ServeError};
+
+/// A point-in-time view of the queue, rendered into `status` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDepth {
+    /// Jobs waiting in the backlog.
+    pub queued: usize,
+    /// Jobs currently running on workers.
+    pub active: usize,
+    /// Jobs completed over the queue's lifetime.
+    pub served: u64,
+    /// Requests refused over the queue's lifetime (ceiling, shutdown, or
+    /// — via [`JobQueue::note_rejected`] — the per-request budget cap).
+    pub rejected: u64,
+    /// Whether [`drain`](JobQueue::drain) has been called.
+    pub draining: bool,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    active: usize,
+    served: u64,
+    rejected: u64,
+    draining: bool,
+}
+
+/// The server's bounded FIFO job queue. `T` is the queued work item.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Wakes workers blocked in [`next`](Self::next).
+    takers: Condvar,
+    /// Wakes [`wait_idle`](Self::wait_idle) once drained and empty.
+    idle: Condvar,
+    ceiling: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `ceiling` outstanding (queued + active)
+    /// jobs at once. A ceiling of 0 is clamped to 1 so the queue is never
+    /// born unable to admit anything.
+    pub fn new(ceiling: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                active: 0,
+                served: 0,
+                rejected: 0,
+                draining: false,
+            }),
+            takers: Condvar::new(),
+            idle: Condvar::new(),
+            ceiling: ceiling.max(1),
+        }
+    }
+
+    /// The outstanding-work ceiling admission is checked against.
+    pub fn ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admit a job, or refuse it with a typed error: `shutting_down` when
+    /// draining, `rejected` when the ceiling is reached.
+    pub fn submit(&self, job: T) -> Result<(), ServeError> {
+        let mut state = self.lock();
+        if state.draining {
+            state.rejected += 1;
+            return Err(ServeError::new(
+                ErrorKind::ShuttingDown,
+                "server is draining and admits no new requests",
+            ));
+        }
+        if state.jobs.len() + state.active >= self.ceiling {
+            state.rejected += 1;
+            return Err(ServeError::new(
+                ErrorKind::Rejected,
+                format!(
+                    "admission ceiling reached ({} outstanding requests); retry later",
+                    self.ceiling
+                ),
+            ));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Take the next job in arrival order, blocking while the queue is
+    /// empty. Returns `None` once the queue is draining and the backlog is
+    /// exhausted — the worker's signal to exit.
+    pub fn next(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                state.active += 1;
+                return Some(job);
+            }
+            if state.draining {
+                return None;
+            }
+            state = self
+                .takers
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Mark the job most recently taken by this worker as finished.
+    pub fn done(&self) {
+        let mut state = self.lock();
+        state.active = state.active.saturating_sub(1);
+        state.served += 1;
+        let idle_now = state.draining && state.active == 0 && state.jobs.is_empty();
+        drop(state);
+        if idle_now {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Count an admission refusal decided outside [`submit`](Self::submit)
+    /// (the per-request budget cap, checked before a job is even built) so
+    /// `status` reports every refused request, whatever the gate.
+    pub fn note_rejected(&self) {
+        self.lock().rejected += 1;
+    }
+
+    /// Flip into shutdown mode: new submits are refused with
+    /// `shutting_down`; queued jobs still drain in order.
+    pub fn drain(&self) {
+        let mut state = self.lock();
+        state.draining = true;
+        drop(state);
+        self.takers.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Block until the queue is draining with no queued or active jobs
+    /// left — the graceful-shutdown barrier.
+    pub fn wait_idle(&self) {
+        let mut state = self.lock();
+        while !(state.draining && state.active == 0 && state.jobs.is_empty()) {
+            state = self
+                .idle
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A consistent point-in-time snapshot for `status` replies.
+    pub fn depth(&self) -> QueueDepth {
+        let state = self.lock();
+        QueueDepth {
+            queued: state.jobs.len(),
+            active: state.active,
+            served: state.served,
+            rejected: state.rejected,
+            draining: state.draining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_rejects_the_n_plus_first_submit() {
+        let queue = JobQueue::new(3);
+        for i in 0..3 {
+            queue.submit(i).unwrap();
+        }
+        let err = queue.submit(99).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Rejected, "4th submit over ceiling 3");
+        assert_eq!(queue.depth().rejected, 1);
+        assert_eq!(queue.depth().queued, 3);
+
+        // Taking a job moves it queued→active: still outstanding, still
+        // counted against the ceiling.
+        assert_eq!(queue.next(), Some(0));
+        assert_eq!(queue.submit(99).unwrap_err().kind, ErrorKind::Rejected);
+        // Finishing it frees a slot.
+        queue.done();
+        queue.submit(3).unwrap();
+        assert_eq!(queue.depth().served, 1);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_but_serves_the_backlog_in_order() {
+        let queue = JobQueue::new(8);
+        queue.submit("a").unwrap();
+        queue.submit("b").unwrap();
+        queue.drain();
+        assert_eq!(
+            queue.submit("c").unwrap_err().kind,
+            ErrorKind::ShuttingDown,
+            "no admissions while draining"
+        );
+        assert_eq!(queue.next(), Some("a"), "backlog drains FIFO");
+        queue.done();
+        assert_eq!(queue.next(), Some("b"));
+        queue.done();
+        assert_eq!(queue.next(), None, "drained queue releases workers");
+        queue.wait_idle();
+        assert!(queue.depth().draining);
+        assert_eq!(queue.depth().served, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Hot lake catalogs behind per-lake `RwLock`s.
+//!
+//! The daemon scans every served lake once at startup and then keeps each
+//! [`LakeCatalog`] hot in memory. Requests take a read lock — many
+//! concurrent discovers share one catalog snapshot — and revalidate it
+//! against the filesystem fingerprints before use: a stale hit (or an
+//! explicit `scan` verb) upgrades to the lake's write lock and swaps in a
+//! rescan while readers drain. Catalog swaps preserve the lake's
+//! [`LoadCounters`](metam_lake::catalog::LoadCounters) handles, so the
+//! server-lifetime hit/miss totals in `status` survive refreshes.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use metam_lake::{LakeCatalog, ScanOptions};
+
+use crate::protocol::{ErrorKind, ServeError};
+
+#[derive(Debug)]
+struct LakeSlot {
+    name: String,
+    catalog: RwLock<Arc<LakeCatalog>>,
+}
+
+/// The daemon's set of served lakes, each hot behind its own `RwLock`.
+#[derive(Debug)]
+pub struct LakeRegistry {
+    lakes: Vec<LakeSlot>,
+}
+
+impl LakeRegistry {
+    /// Scan each `(name, directory)` pair into a hot catalog. Names must
+    /// be unique; scans run sequentially at startup (the per-scan
+    /// profiling inside each is already parallel).
+    pub fn open(lakes: &[(String, PathBuf)]) -> Result<LakeRegistry, ServeError> {
+        if lakes.is_empty() {
+            return Err(ServeError::bad_request("serve needs at least one lake"));
+        }
+        let mut slots: Vec<LakeSlot> = Vec::with_capacity(lakes.len());
+        for (name, dir) in lakes {
+            if slots.iter().any(|s| s.name == *name) {
+                return Err(ServeError::bad_request(format!(
+                    "two lakes share the name {name:?}; pass distinct directories"
+                )));
+            }
+            let catalog = LakeCatalog::scan(dir).map_err(|e| {
+                ServeError::internal(format!("scanning lake {name:?} at {}: {e}", dir.display()))
+            })?;
+            slots.push(LakeSlot {
+                name: name.clone(),
+                catalog: RwLock::new(Arc::new(catalog)),
+            });
+        }
+        Ok(LakeRegistry { lakes: slots })
+    }
+
+    /// Served lake names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.lakes.iter().map(|s| s.name.clone()).collect()
+    }
+
+    fn slot(&self, name: &str) -> Result<&LakeSlot, ServeError> {
+        self.lakes.iter().find(|s| s.name == name).ok_or_else(|| {
+            ServeError::new(
+                ErrorKind::UnknownLake,
+                format!(
+                    "unknown lake {name:?} (serving: {})",
+                    self.names().join(", ")
+                ),
+            )
+        })
+    }
+
+    /// The current catalog snapshot for `name`, revalidated against the
+    /// filesystem: a fresh catalog returns under the read lock; a stale
+    /// one upgrades to the write lock and swaps in a rescan first, so the
+    /// returned snapshot always reflects the lake as it is on disk.
+    pub fn hot(&self, name: &str) -> Result<Arc<LakeCatalog>, ServeError> {
+        let slot = self.slot(name)?;
+        let current = Arc::clone(&slot.catalog.read().unwrap_or_else(PoisonError::into_inner));
+        if !current.is_stale() {
+            return Ok(current);
+        }
+        self.refresh_slot(slot)
+    }
+
+    /// The current catalog snapshot without revalidation (for `status`
+    /// rendering, which must stay cheap and never trigger rescans).
+    pub fn snapshot(&self, name: &str) -> Result<Arc<LakeCatalog>, ServeError> {
+        let slot = self.slot(name)?;
+        Ok(Arc::clone(
+            &slot.catalog.read().unwrap_or_else(PoisonError::into_inner),
+        ))
+    }
+
+    /// Unconditionally rescan lake `name` in place (the `scan` verb) and
+    /// return the refreshed snapshot.
+    pub fn refresh(&self, name: &str) -> Result<Arc<LakeCatalog>, ServeError> {
+        self.refresh_slot(self.slot(name)?)
+    }
+
+    fn refresh_slot(&self, slot: &LakeSlot) -> Result<Arc<LakeCatalog>, ServeError> {
+        let mut guard = slot.catalog.write().unwrap_or_else(PoisonError::into_inner);
+        // Another request may have refreshed while we waited on the write
+        // lock; rescanning an already-fresh catalog is cheap (all cache
+        // hits) but swapping it again is pure churn.
+        if !guard.is_stale() {
+            return Ok(Arc::clone(&guard));
+        }
+        let fresh = guard
+            .rescan(&ScanOptions::default())
+            .map_err(|e| ServeError::internal(format!("rescanning lake {:?}: {e}", slot.name)))?;
+        *guard = Arc::new(fresh);
+        Ok(Arc::clone(&guard))
+    }
+}
+
+/// Derive a lake name from its directory path (the final path component),
+/// the CLI convention for `metam serve <dir>...`.
+pub fn lake_name_for(dir: &Path) -> String {
+    dir.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| dir.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_lake(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metam-serve-reg-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("a.csv"), "x,y\n1,2\n3,4\n").unwrap();
+        dir
+    }
+
+    #[test]
+    fn unknown_and_duplicate_lakes_are_typed_errors() {
+        let dir = tmp_lake("dup");
+        let reg = LakeRegistry::open(&[("demo".into(), dir.clone())]).unwrap();
+        assert_eq!(reg.hot("nope").unwrap_err().kind, ErrorKind::UnknownLake);
+        let dup = LakeRegistry::open(&[("d".into(), dir.clone()), ("d".into(), dir.clone())]);
+        assert_eq!(dup.unwrap_err().kind, ErrorKind::BadRequest);
+        assert_eq!(
+            LakeRegistry::open(&[]).unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_hit_swaps_in_a_rescan() {
+        let dir = tmp_lake("stale");
+        let reg = LakeRegistry::open(&[("demo".into(), dir.clone())]).unwrap();
+        let first = reg.hot("demo").unwrap();
+        assert_eq!(first.len(), 1);
+        fs::write(dir.join("b.csv"), "z\n7\n").unwrap();
+        let second = reg.hot("demo").unwrap();
+        assert_eq!(second.len(), 2, "stale hit revalidated to the new file");
+        assert!(
+            !Arc::ptr_eq(&first, &second),
+            "the slot holds a refreshed catalog"
+        );
+        assert_eq!(reg.snapshot("demo").unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

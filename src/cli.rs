@@ -42,6 +42,11 @@ commands:
            [--max-candidates N] [--sample N] [--threads N] [--json]
            [--trace FILE|stderr]
                               run goal-oriented discovery over the lake
+  serve <dir>... [--addr A] [--workers N] [--queue N]
+        [--max-budget N] [--stop-file FILE]
+                              hold the lakes hot and answer NDJSON
+                              requests over TCP until shutdown
+  request <addr> <json>       send one NDJSON request line to a daemon
   trace-validate <file>       check a JSONL trace file against the schema
 
 task kinds: classification:<column> | regression:<column> | clustering:<k>
@@ -54,7 +59,14 @@ per span/query/round/finish event; tracing never changes results.
 METAM_SCAN_THREADS, default: available cores).
 `discover --threads` (or METAM_SEARCH_THREADS) batches search queries
 over the same worker pool; results are byte-identical whatever the
-thread count (default 1).";
+thread count (default 1).
+`serve` binds loopback `127.0.0.1:0` by default and prints the bound
+address; verbs are discover/profile/scan/lakes/status/shutdown (see
+README \"Serving\"). `--workers`/`--queue` set the admission ceiling
+(defaults 2/16, env METAM_SERVE_WORKERS / METAM_SERVE_QUEUE);
+`--max-budget` caps any single request's query budget; `--stop-file`
+drains and exits once the file appears (Ctrl-C-equivalent for scripts).
+`request` prints the daemon's reply line and exits 0 only on `ok`.";
 
 type CliResult<T> = Result<T, Box<dyn std::error::Error>>;
 
@@ -159,6 +171,8 @@ fn dispatch(args: &[String]) -> CliResult<()> {
         "scan" => cmd_scan(rest),
         "profile" => cmd_profile(rest),
         "discover" => cmd_discover(rest),
+        "serve" => cmd_serve(rest),
+        "request" => cmd_request(rest),
         "trace-validate" => cmd_trace_validate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -265,56 +279,11 @@ fn cmd_profile(args: &[String]) -> CliResult<()> {
     Ok(())
 }
 
-/// Machine-readable catalog statistics (`profile --json`): per-table
-/// column stats plus the scan's profile-cache, `.mtc`-vs-CSV load and
-/// sketch-record counters.
+/// Machine-readable catalog statistics (`profile --json`): the shared
+/// renderer in `metam-serve` (the daemon's `profile` verb returns the
+/// same payload, so the two surfaces can never drift).
 fn profile_json(catalog: &LakeCatalog, only: Option<&str>) -> String {
-    let counters = catalog.load_counters();
-    let mut out = String::from("{\"cache\":{");
-    out.push_str(&format!(
-        "\"profile_hits\":{},\"profile_misses\":{},\"mtc_loads\":{},\"csv_fallbacks\":{},\"sketch_hits\":{},\"sketch_misses\":{}}}",
-        catalog.cache_hits(),
-        catalog.cache_misses(),
-        counters.hits(),
-        counters.misses(),
-        catalog.sketch_hits(),
-        catalog.sketch_misses(),
-    ));
-    out.push_str(",\"tables\":[");
-    let mut first_table = true;
-    for entry in catalog.entries() {
-        if only.is_some_and(|n| n != entry.name) {
-            continue;
-        }
-        if !first_table {
-            out.push(',');
-        }
-        first_table = false;
-        out.push_str("{\"table\":");
-        serde::write_json_string(&mut out, &entry.name);
-        out.push_str(&format!(",\"rows\":{},\"columns\":[", entry.nrows));
-        for (i, c) in entry.columns.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("{\"name\":");
-            serde::write_json_string(&mut out, &c.display_name(i));
-            out.push_str(",\"dtype\":");
-            serde::write_json_string(&mut out, metam_lake::stats::dtype_to_str(c.dtype));
-            out.push_str(&format!(
-                ",\"nulls\":{},\"distinct\":{}",
-                c.null_count, c.distinct_count
-            ));
-            for (key, v) in [("min", c.min), ("max", c.max), ("mean", c.mean)] {
-                out.push_str(&format!(",\"{key}\":"));
-                serde::Serialize::serialize(&v, &mut out);
-            }
-            out.push('}');
-        }
-        out.push_str("]}");
-    }
-    out.push_str("]}");
-    out
+    metam_serve::render::profile_json(catalog, only)
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -446,6 +415,100 @@ fn cmd_discover(args: &[String]) -> CliResult<()> {
         print_report(&report);
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult<()> {
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&["addr", "workers", "queue", "max-budget", "stop-file"])?;
+    if flags.positional.is_empty() {
+        return Err(bad("serve needs at least one lake <dir>"));
+    }
+    let lakes: Vec<(String, std::path::PathBuf)> = flags
+        .positional
+        .iter()
+        .map(|dir| {
+            let path = std::path::PathBuf::from(dir);
+            (metam_serve::lake_name_for(&path), path)
+        })
+        .collect();
+
+    // Environment defaults first, explicit flags on top.
+    let mut config = metam_serve::ServeConfig::default().from_env();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(n) = flags.get_num::<usize>("workers")? {
+        config.workers = n.max(1);
+    }
+    if let Some(n) = flags.get_num::<usize>("queue")? {
+        config.queue = n;
+    }
+    if let Some(n) = flags.get_num::<usize>("max-budget")? {
+        config.max_budget = Some(n);
+    }
+    if let Some(file) = flags.get("stop-file") {
+        config.stop_file = Some(std::path::PathBuf::from(file));
+    }
+
+    let server = crate::serve::start(&lakes, config)?;
+    for (name, dir) in &lakes {
+        eprintln!("serving lake {name:?} from {}", dir.display());
+    }
+    // The bound address is the machine-readable startup line scripts
+    // scrape, so it goes to stdout and flushes before the long block.
+    println!("metam serve listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    eprintln!("metam serve: drained and stopped");
+    Ok(())
+}
+
+fn cmd_request(args: &[String]) -> CliResult<()> {
+    use std::io::{BufRead, BufReader, Write};
+    let flags = Flags::parse(args, &[])?;
+    flags.reject_unknown(&[])?;
+    let addr = flags
+        .positional
+        .first()
+        .ok_or_else(|| bad("request needs <addr> (host:port)"))?;
+    let line = flags
+        .positional
+        .get(1)
+        .ok_or_else(|| bad("request needs a <json> request line"))?;
+    if line.contains('\n') {
+        return Err(bad("the request must be a single NDJSON line"));
+    }
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| bad(format!("cannot connect to {addr}: {e}")))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply)?;
+    let reply = reply.trim_end();
+    if reply.is_empty() {
+        return Err(bad(format!("{addr} closed the connection without a reply")));
+    }
+    // Schema check: the reply must parse as JSON and carry a boolean
+    // `ok` — the same validation ci.sh relies on.
+    let parsed =
+        metam_obs::json::parse(reply).map_err(|e| bad(format!("reply is not valid JSON: {e}")))?;
+    println!("{reply}");
+    match parsed.get("ok") {
+        Some(metam_obs::json::Value::Bool(true)) => Ok(()),
+        Some(metam_obs::json::Value::Bool(false)) => {
+            let kind = parsed
+                .get("error")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown");
+            let message = parsed.get("message").and_then(|v| v.as_str()).unwrap_or("");
+            Err(bad(format!(
+                "daemon refused the request: {kind}: {message}"
+            )))
+        }
+        _ => Err(bad("reply carries no boolean \"ok\" field")),
+    }
 }
 
 fn cmd_trace_validate(args: &[String]) -> CliResult<()> {
@@ -614,6 +677,10 @@ mod tests {
         assert_eq!(run(&strs(&[])), 2);
         assert_eq!(run(&strs(&["frobnicate"])), 2);
         assert_eq!(run(&strs(&["scan"])), 2);
+        assert_eq!(run(&strs(&["serve"])), 2, "serve needs a lake dir");
+        assert_eq!(run(&strs(&["serve", "/nonexistent-lake"])), 2);
+        assert_eq!(run(&strs(&["request"])), 2, "request needs addr + json");
+        assert_eq!(run(&strs(&["request", "127.0.0.1:9"])), 2);
         assert_eq!(run(&strs(&["discover", "/nonexistent", "--task", "x"])), 2);
         let dir = tmp_lake("badflag");
         fs::write(dir.join("a.csv"), "x\n1\n").unwrap();

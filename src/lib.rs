@@ -62,7 +62,8 @@
 //! [`profile`] (data profiles) → [`core`] (the algorithm, baselines, and
 //! the [`Prepared`] assembly) → [`datagen`] (synthetic repositories) →
 //! [`tasks`] (downstream tasks) → [`lake`] (on-disk ingestion + catalog) →
-//! [`session`] (the builder front door) → [`cli`] (the binary).
+//! [`session`] (the builder front door) → [`serve`] (the long-lived
+//! daemon behind `metam serve`) → [`cli`] (the binary).
 
 #![warn(missing_docs)]
 
@@ -85,4 +86,5 @@ pub use metam_table::Table;
 pub use session::{RunReport, Session, SessionError};
 
 pub mod cli;
+pub mod serve;
 pub mod session;

@@ -43,6 +43,7 @@ pub use report::RunReport;
 pub use source::{DataSource, LakeSource, ScenarioSource, SourceData, SourceRequest};
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use metam_core::prepared::{assemble, AssembleOptions};
@@ -108,6 +109,14 @@ impl Session {
     /// [`din`](Self::din) (the input dataset) and a task.
     pub fn from_catalog(catalog: LakeCatalog) -> Session {
         Session::from_source(Box::new(LakeSource::from_catalog(catalog)))
+    }
+
+    /// Session over a catalog shared with other holders — the `metam
+    /// serve` worker path, where many concurrent sessions prepare over
+    /// one hot catalog (legal because the whole data plane is `Send`).
+    /// Requires [`din`](Self::din) (the input dataset) and a task.
+    pub fn from_shared_catalog(catalog: Arc<LakeCatalog>) -> Session {
+        Session::from_source(Box::new(LakeSource::from_shared(catalog)))
     }
 
     /// Name the input dataset: a catalog table name or a path to an

@@ -133,8 +133,15 @@ impl LakeSource {
 
     /// Lake behind an already-scanned catalog.
     pub fn from_catalog(catalog: LakeCatalog) -> LakeSource {
+        LakeSource::from_shared(Arc::new(catalog))
+    }
+
+    /// Lake behind a catalog shared with other holders (`metam serve`
+    /// workers all preparing over one hot catalog). Loads resolve through
+    /// the shared catalog's counters and caches; nothing is rescanned.
+    pub fn from_shared(catalog: Arc<LakeCatalog>) -> LakeSource {
         LakeSource {
-            backing: LakeBacking::Catalog(Arc::new(catalog)),
+            backing: LakeBacking::Catalog(catalog),
         }
     }
 }
@@ -172,12 +179,13 @@ impl DataSource for LakeSource {
         // provider only when a candidate materializes.
         let (descriptors, provider) =
             metam_lake::prepare::repository_descriptors(&catalog, &din, Some(&excluded))?;
-        // Surface the .mtc-vs-CSV load split in the metrics registry (one
-        // flush per prepare; the atomics count everything loaded above —
-        // with lazy loading, typically just the input dataset so far).
-        let counters = catalog.load_counters();
-        metam_obs::counter_add("lake.load.mtc_hits", counters.hits() as u64);
-        metam_obs::counter_add("lake.load.csv_fallbacks", counters.misses() as u64);
+        // Surface the .mtc-vs-CSV load split in the metrics registry.
+        // Drained as a delta (not a lifetime snapshot) so N concurrent
+        // prepares sharing one catalog flush each load exactly once — the
+        // registry total equals the catalog's lifetime total, never more.
+        let (hits, misses) = catalog.load_counters().take_unflushed();
+        metam_obs::counter_add("lake.load.mtc_hits", hits as u64);
+        metam_obs::counter_add("lake.load.csv_fallbacks", misses as u64);
         Ok(SourceData {
             din,
             repository: Repository::Deferred {
